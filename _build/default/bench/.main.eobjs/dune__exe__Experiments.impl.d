@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Binarize Core Cq Datalog Folog Hashtbl Homomorphism List Option Pebble Printf Random Relational Schaefer Structure Treewidth Util Vocabulary

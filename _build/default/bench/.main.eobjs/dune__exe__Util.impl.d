@@ -1,0 +1,1 @@
+bench/util.ml: Format Int64 List Monotonic_clock String

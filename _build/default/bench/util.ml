@@ -1,0 +1,65 @@
+(* Timing and table helpers for the experiment harness. *)
+
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+(* Wall-clock seconds of one evaluation. *)
+let time_once f =
+  let t0 = now_ns () in
+  let result = f () in
+  (result, (now_ns () -. t0) /. 1e9)
+
+(* Median of [repeat] runs, seconds; result of the first run. *)
+let time ?(repeat = 3) f =
+  let result, first = time_once f in
+  let others = List.init (repeat - 1) (fun _ -> snd (time_once f)) in
+  let sorted = List.sort compare (first :: others) in
+  (result, List.nth sorted (List.length sorted / 2))
+
+let pp_seconds ppf s =
+  if s < 1e-6 then Format.fprintf ppf "%8.1fns" (s *. 1e9)
+  else if s < 1e-3 then Format.fprintf ppf "%8.1fus" (s *. 1e6)
+  else if s < 1.0 then Format.fprintf ppf "%8.2fms" (s *. 1e3)
+  else Format.fprintf ppf "%8.2fs " s
+
+let seconds_string s = Format.asprintf "%a" pp_seconds s
+
+(* Least-squares slope of log(time) against log(size): the empirical growth
+   exponent of a series. *)
+let fitted_exponent series =
+  let pts =
+    List.filter_map
+      (fun (n, t) -> if t > 0.0 && n > 0 then Some (log (float_of_int n), log t) else None)
+      series
+  in
+  match pts with
+  | [] | [ _ ] -> nan
+  | pts ->
+    let n = float_of_int (List.length pts) in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+    ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+
+let header title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '-')
+
+let table ~columns rows =
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i)))
+          (String.length c) rows)
+      columns
+  in
+  let print_row cells =
+    List.iteri
+      (fun i cell -> Format.printf "%-*s  " (List.nth widths i) cell)
+      cells;
+    Format.printf "@."
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let note fmt = Format.printf ("  " ^^ fmt ^^ "@.")

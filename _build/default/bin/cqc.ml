@@ -1,0 +1,252 @@
+(* cqc: a command-line front end to the library.
+
+     cqc contain 'Q(X) :- E(X,Y), E(Y,Z).' 'Q(X) :- E(X,Y).'
+     cqc minimize 'Q(X) :- E(X,Y), E(X,Z).'
+     cqc evaluate 'Q(X,Y) :- E(X,Z), E(Z,Y).' graph.st
+     cqc solve source.st target.st
+     cqc classify target.st
+     cqc treewidth source.st
+
+   Structures are given in the Structure_text format (see --help). *)
+
+open Cmdliner
+
+let read_structure path =
+  let text =
+    if path = "-" then In_channel.input_all In_channel.stdin
+    else In_channel.with_open_text path In_channel.input_all
+  in
+  Relational.Structure_text.parse text
+
+let query_conv =
+  let parse s =
+    match Cq.Parser.parse s with
+    | q -> Ok q
+    | exception Cq.Parser.Parse_error msg -> Error (`Msg ("bad query: " ^ msg))
+  in
+  Arg.conv (parse, Cq.Query.pp)
+
+let structure_conv =
+  let parse path =
+    match read_structure path with
+    | s -> Ok s
+    | exception Relational.Structure_text.Parse_error msg ->
+      Error (`Msg (Printf.sprintf "%s: %s" path msg))
+    | exception Sys_error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf s -> Relational.Structure.pp ppf s)
+
+(* ------------------------------------------------------------------ *)
+
+let contain q1 q2 =
+  let yes, route = Core.Solver.solve_containment q1 q2 in
+  Format.printf "Q1 <= Q2: %b  (route: %s)@." yes (Core.Solver.route_name route);
+  if yes then
+    match Cq.Containment.containment_witness q1 q2 with
+    | Some w ->
+      Format.printf "witness: %a@."
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (v, x) -> Format.fprintf ppf "%s->%s" v x))
+        w
+    | None -> ()
+
+let contain_cmd =
+  let q1 = Arg.(required & pos 0 (some query_conv) None & info [] ~docv:"Q1") in
+  let q2 = Arg.(required & pos 1 (some query_conv) None & info [] ~docv:"Q2") in
+  Cmd.v
+    (Cmd.info "contain" ~doc:"Decide conjunctive-query containment Q1 <= Q2")
+    Term.(const contain $ q1 $ q2)
+
+let minimize q =
+  let m = Cq.Containment.minimize q in
+  Format.printf "%a@." Cq.Query.pp m;
+  Format.printf "joins removed: %d@." (Cq.Query.atom_count q - Cq.Query.atom_count m)
+
+let minimize_cmd =
+  let q = Arg.(required & pos 0 (some query_conv) None & info [] ~docv:"Q") in
+  Cmd.v
+    (Cmd.info "minimize" ~doc:"Minimize a conjunctive query (compute its core)")
+    Term.(const minimize $ q)
+
+let evaluate engine q db =
+  let answers =
+    match engine with
+    | `Hom -> Cq.Containment.evaluate q db
+    | `Spj -> Cq.Algebra.evaluate_query q db
+    | `Yannakakis -> Cq.Acyclic.evaluate q db
+    | `Auto ->
+      if Cq.Acyclic.is_acyclic q then Cq.Acyclic.evaluate q db
+      else Cq.Containment.evaluate q db
+  in
+  Format.printf "%d answer(s)@." (List.length answers);
+  List.iter (fun t -> Format.printf "  %a@." Relational.Tuple.pp t) answers
+
+let evaluate_cmd =
+  let engine =
+    Arg.(
+      value
+      & opt
+          (enum [ ("auto", `Auto); ("hom", `Hom); ("spj", `Spj); ("yannakakis", `Yannakakis) ])
+          `Auto
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Evaluation engine: auto (Yannakakis when acyclic), hom              (homomorphism enumeration), spj (compiled algebra plan),              yannakakis.")
+  in
+  let q = Arg.(required & pos 0 (some query_conv) None & info [] ~docv:"Q") in
+  let db = Arg.(required & pos 1 (some structure_conv) None & info [] ~docv:"DB") in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Evaluate a conjunctive query on a structure")
+    Term.(const evaluate $ engine $ q $ db)
+
+let solve a b =
+  let r = Core.Solver.solve a b in
+  Format.printf "route: %s@." (Core.Solver.route_name r.Core.Solver.route);
+  match r.Core.Solver.answer with
+  | Some h -> Format.printf "homomorphism: %a@." Relational.Tuple.pp h
+  | None -> Format.printf "no homomorphism@."
+
+let solve_cmd =
+  let a = Arg.(required & pos 0 (some structure_conv) None & info [] ~docv:"SOURCE") in
+  let b = Arg.(required & pos 1 (some structure_conv) None & info [] ~docv:"TARGET") in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Decide the existence of a homomorphism SOURCE -> TARGET (CSP)")
+    Term.(const solve $ a $ b)
+
+let classify b =
+  if Relational.Structure.size b <> 2 then
+    Format.printf "not a Boolean structure (universe size %d)@."
+      (Relational.Structure.size b)
+  else begin
+    let classes = Schaefer.Classify.structure_classes b in
+    (match classes with
+    | [] ->
+      Format.printf "Schaefer classes: none@.";
+      Format.printf "verdict: CSP(B) is NP-complete (Schaefer's dichotomy)@."
+    | cs ->
+      Format.printf "Schaefer classes: %s@."
+        (String.concat ", " (List.map Schaefer.Classify.class_name cs));
+      Format.printf "verdict: CSP(B) is solvable in polynomial time@.");
+    List.iter
+      (fun (name, r) ->
+        Format.printf "  %s: via closure tests {%s}, via polymorphisms {%s}@." name
+          (String.concat ", "
+             (List.map Schaefer.Classify.class_name (Schaefer.Classify.relation_classes r)))
+          (String.concat ", "
+             (List.map Schaefer.Classify.class_name
+                (Schaefer.Polymorphism.classes_via_polymorphisms r))))
+      (Schaefer.Classify.boolean_relations b)
+  end
+
+let classify_cmd =
+  let b = Arg.(required & pos 0 (some structure_conv) None & info [] ~docv:"TARGET") in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Classify a Boolean structure in Schaefer's dichotomy")
+    Term.(const classify $ b)
+
+let treewidth a =
+  let g =
+    Treewidth.Graph.of_edges
+      ~size:(Relational.Structure.size a)
+      (Relational.Structure.gaifman_edges a)
+  in
+  Format.printf "universe: %d, facts: %d@." (Relational.Structure.size a)
+    (Relational.Structure.total_tuples a);
+  Format.printf "acyclic (GYO): %b@." (Treewidth.Hypergraph.is_acyclic a);
+  Format.printf "Gaifman treewidth <= %d (min-fill heuristic)@."
+    (Treewidth.Elimination.treewidth_upper_bound g);
+  if Treewidth.Graph.size g <= 16 then
+    Format.printf "Gaifman treewidth = %d (exact)@."
+      (Treewidth.Elimination.treewidth_exact g);
+  Format.printf "incidence treewidth <= %d@." (Treewidth.Incidence.treewidth_upper a)
+
+let treewidth_cmd =
+  let a = Arg.(required & pos 0 (some structure_conv) None & info [] ~docv:"SOURCE") in
+  Cmd.v
+    (Cmd.info "treewidth" ~doc:"Report width measures of a structure")
+    Term.(const treewidth $ a)
+
+let count a b = Format.printf "#hom = %d@." (Treewidth.Td_solver.count a b)
+
+let count_cmd =
+  let a = Arg.(required & pos 0 (some structure_conv) None & info [] ~docv:"SOURCE") in
+  let b = Arg.(required & pos 1 (some structure_conv) None & info [] ~docv:"TARGET") in
+  Cmd.v
+    (Cmd.info "count"
+       ~doc:"Count homomorphisms SOURCE -> TARGET (treewidth dynamic programming)")
+    Term.(const count $ a $ b)
+
+let game k a b =
+  let wins, stats = Pebble.Game.duplicator_wins_with_stats ~k a b in
+  Format.printf "existential %d-pebble game: %s wins@." k
+    (if wins then "the Duplicator" else "the Spoiler");
+  Format.printf "partial homomorphisms: %d generated, %d pruned@."
+    stats.Pebble.Game.initial_configs stats.Pebble.Game.removed;
+  if not wins then Format.printf "consequence: no homomorphism SOURCE -> TARGET@."
+  else Format.printf "consequence: inconclusive (a homomorphism may or may not exist)@."
+
+let game_cmd =
+  let k =
+    Arg.(value & opt int 2 & info [ "k"; "pebbles" ] ~docv:"K" ~doc:"Number of pebbles.")
+  in
+  let a = Arg.(required & pos 0 (some structure_conv) None & info [] ~docv:"SOURCE") in
+  let b = Arg.(required & pos 1 (some structure_conv) None & info [] ~docv:"TARGET") in
+  Cmd.v
+    (Cmd.info "game"
+       ~doc:"Play the existential k-pebble game (strong k-consistency)")
+    Term.(const game $ k $ a $ b)
+
+let fo_check formula_text a =
+  match Folog.Fo_parser.parse formula_text with
+  | exception Folog.Fo_parser.Parse_error msg ->
+    Format.printf "parse error: %s@." msg;
+    exit 1
+  | f ->
+    Format.printf "formula: %a  (width %d%s)@." Folog.Formula.pp f (Folog.Formula.width f)
+      (if Folog.Formula.is_existential_positive f then ", existential positive" else "");
+    if Folog.Formula.is_sentence f then
+      Format.printf "holds: %b@." (Folog.Fo_eval.holds a f)
+    else begin
+      let table = Folog.Fo_eval.eval a f in
+      Format.printf "free variables: %s@."
+        (String.concat ", " (Array.to_list table.Folog.Fo_eval.vars));
+      Format.printf "%d satisfying assignment(s)@."
+        (List.length table.Folog.Fo_eval.rows);
+      List.iter
+        (fun row -> Format.printf "  %a@." Relational.Tuple.pp row)
+        table.Folog.Fo_eval.rows
+    end
+
+let check_cmd =
+  let f = Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA") in
+  let a = Arg.(required & pos 1 (some structure_conv) None & info [] ~docv:"STRUCTURE") in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Evaluate a first-order formula on a structure (bounded-variable model checking)")
+    Term.(const fo_check $ f $ a)
+
+let main =
+  let doc = "conjunctive-query containment and constraint satisfaction" in
+  let info_ =
+    Cmd.info "cqc" ~doc
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Tools from the Kolaitis-Vardi reproduction: query containment, \
+             minimization and evaluation; CSP solving through the unified \
+             tractable-route dispatcher; Schaefer classification; width measures.";
+          `S "STRUCTURE FILES";
+          `P
+            "Structures are text files: a 'size N' line, optional 'rel NAME ARITY' \
+             declarations, then one 'NAME e1 e2 ...' line per fact. '#' starts a \
+             comment. Use '-' for stdin.";
+        ]
+  in
+  Cmd.group info_
+    [ contain_cmd; minimize_cmd; evaluate_cmd; solve_cmd; classify_cmd; treewidth_cmd;
+      count_cmd; game_cmd; check_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/program_analysis.ml: Array Datalog Eval Format List Parser Relation Relational Structure Vocabulary

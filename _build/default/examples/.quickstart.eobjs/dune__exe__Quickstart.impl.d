@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Cq Format Homomorphism List Relational Schaefer String Structure Tuple

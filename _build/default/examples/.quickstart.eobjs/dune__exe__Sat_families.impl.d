@@ -1,0 +1,1 @@
+examples/sat_families.ml: Boolean_relation Booleanize Classify Cnf Core Define Format Gf2 List Relational Schaefer String Structure Uniform

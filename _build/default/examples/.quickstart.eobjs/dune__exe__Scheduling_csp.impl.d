@@ -1,0 +1,1 @@
+examples/scheduling_csp.ml: Array Core Csp Format List Relational Solver

@@ -1,0 +1,1 @@
+examples/view_rewriting.ml: Array Cq Format List Printf

@@ -1,0 +1,1 @@
+lib/core/csp.ml: Array Homomorphism List Printf Relation Relational Structure Tuple Vocabulary

@@ -1,0 +1,1 @@
+lib/core/csp.mli: Relational Structure Tuple

@@ -1,0 +1,1 @@
+lib/core/graph_dichotomy.ml: Array List Queue Relation Relational Structure Vocabulary

@@ -1,0 +1,1 @@
+lib/core/graph_dichotomy.mli: Homomorphism Relational Structure

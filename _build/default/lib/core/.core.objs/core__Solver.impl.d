@@ -1,0 +1,1 @@
+lib/core/solver.ml: Cq Graph_dichotomy Homomorphism Option Pebble Printf Relational Schaefer Structure Treewidth Vocabulary

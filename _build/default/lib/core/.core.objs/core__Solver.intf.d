@@ -1,0 +1,1 @@
+lib/core/solver.mli: Cq Graph_dichotomy Homomorphism Relational Schaefer Structure

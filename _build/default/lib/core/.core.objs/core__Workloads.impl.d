@@ -1,0 +1,1 @@
+lib/core/workloads.ml: Array Cq Fun Int List Printf Random Relational Schaefer Structure Vocabulary

@@ -1,0 +1,1 @@
+lib/core/workloads.mli: Cq Relational Schaefer Structure Vocabulary

@@ -1,0 +1,79 @@
+open Relational
+
+type constr = { scope : int array; allowed : Tuple.t list }
+
+type t = { num_variables : int; domain_size : int; constraints : constr list }
+
+let make ~num_variables ~domain_size constraints =
+  List.iter
+    (fun c ->
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= num_variables then
+            invalid_arg "Csp.make: variable out of range")
+        c.scope;
+      List.iter
+        (fun t ->
+          if Array.length t <> Array.length c.scope then
+            invalid_arg "Csp.make: allowed tuple arity mismatch";
+          Array.iter
+            (fun e ->
+              if e < 0 || e >= domain_size then
+                invalid_arg "Csp.make: value out of range")
+            t)
+        c.allowed)
+    constraints;
+  { num_variables; domain_size; constraints }
+
+let symbol i = Printf.sprintf "C%d" i
+
+let to_homomorphism csp =
+  let vocab =
+    Vocabulary.create
+      (List.mapi (fun i c -> (symbol i, Array.length c.scope)) csp.constraints)
+  in
+  let a =
+    List.fold_left
+      (fun (i, acc) c -> (i + 1, Structure.add_tuple acc (symbol i) c.scope))
+      (0, Structure.create vocab ~size:csp.num_variables)
+      csp.constraints
+    |> snd
+  in
+  let b =
+    List.fold_left
+      (fun (i, acc) c ->
+        ( i + 1,
+          List.fold_left (fun acc t -> Structure.add_tuple acc (symbol i) t) acc c.allowed ))
+      (0, Structure.create vocab ~size:csp.domain_size)
+      csp.constraints
+    |> snd
+  in
+  (a, b)
+
+let of_homomorphism a b =
+  let constraints =
+    List.rev
+      (Structure.fold_tuples
+         (fun name t acc ->
+           let allowed =
+             match Structure.relation b name with
+             | r -> Relation.elements r
+             | exception Not_found -> []
+           in
+           { scope = t; allowed } :: acc)
+         a [])
+  in
+  make ~num_variables:(Structure.size a) ~domain_size:(Structure.size b) constraints
+
+let satisfies csp assignment =
+  Array.length assignment = csp.num_variables
+  && Array.for_all (fun v -> v >= 0 && v < csp.domain_size) assignment
+  && List.for_all
+       (fun c ->
+         let image = Array.map (fun v -> assignment.(v)) c.scope in
+         List.exists (Tuple.equal image) c.allowed)
+       csp.constraints
+
+let solve csp =
+  let a, b = to_homomorphism csp in
+  Homomorphism.find a b

@@ -1,0 +1,35 @@
+open Relational
+
+(** Constraint-satisfaction problems in their traditional formulation —
+    variables, values, constraints — and the two-way translation to the
+    homomorphism formulation that the paper identifies as the common core
+    of CSP and conjunctive-query containment. *)
+
+type constr = {
+  scope : int array;  (** Variable indices. *)
+  allowed : Tuple.t list;  (** Permitted value combinations. *)
+}
+
+type t = {
+  num_variables : int;
+  domain_size : int;
+  constraints : constr list;
+}
+
+val make : num_variables:int -> domain_size:int -> constr list -> t
+(** @raise Invalid_argument on out-of-range variables or values, or on an
+    arity mismatch between a scope and its allowed tuples. *)
+
+val to_homomorphism : t -> Structure.t * Structure.t
+(** [(A, B)]: one relation symbol per constraint; [A] holds the scope over
+    the variables, [B] holds the allowed tuples over the values.
+    Assignments satisfying the CSP are exactly homomorphisms [A -> B]. *)
+
+val of_homomorphism : Structure.t -> Structure.t -> t
+(** The reverse reading: each fact of [A] is a constraint whose allowed
+    tuples are the corresponding relation of [B]. *)
+
+val satisfies : t -> int array -> bool
+
+val solve : t -> int array option
+(** Via the homomorphism translation and the MAC backtracking engine. *)

@@ -1,0 +1,98 @@
+open Relational
+
+let edge_symbol g =
+  match Vocabulary.symbols (Structure.vocabulary g) with
+  | [ (name, 2) ] -> Some name
+  | _ -> None
+
+let is_undirected_graph g =
+  match edge_symbol g with
+  | None -> false
+  | Some name ->
+    Relation.for_all
+      (fun t -> Relation.mem (Structure.relation g name) [| t.(1); t.(0) |])
+      (Structure.relation g name)
+
+let require_graph g =
+  match edge_symbol g with
+  | Some name when is_undirected_graph g -> name
+  | _ -> invalid_arg "Graph_dichotomy: not an undirected graph"
+
+let has_loop g =
+  match edge_symbol g with
+  | None -> false
+  | Some name -> Relation.exists (fun t -> t.(0) = t.(1)) (Structure.relation g name)
+
+(* 2-colour the symmetrized edge relation by BFS; [None] when an odd cycle
+   (or loop) blocks it. *)
+let two_colouring g =
+  let n = Structure.size g in
+  let adj = Array.make (max n 1) [] in
+  let ok = ref true in
+  Structure.iter_tuples
+    (fun _ t ->
+      if t.(0) = t.(1) then ok := false
+      else begin
+        adj.(t.(0)) <- t.(1) :: adj.(t.(0));
+        adj.(t.(1)) <- t.(0) :: adj.(t.(1))
+      end)
+    g;
+  if not !ok then None
+  else begin
+    let colour = Array.make (max n 1) (-1) in
+    let queue = Queue.create () in
+    for start = 0 to n - 1 do
+      if !ok && colour.(start) < 0 then begin
+        colour.(start) <- 0;
+        Queue.add start queue;
+        while !ok && not (Queue.is_empty queue) do
+          let u = Queue.pop queue in
+          List.iter
+            (fun v ->
+              if colour.(v) < 0 then begin
+                colour.(v) <- 1 - colour.(u);
+                Queue.add v queue
+              end
+              else if colour.(v) = colour.(u) then ok := false)
+            adj.(u)
+        done
+      end
+    done;
+    if !ok then Some colour else None
+  end
+
+let is_bipartite g = two_colouring g <> None
+
+type verdict = Polynomial | Np_complete
+
+let complexity h =
+  ignore (require_graph h);
+  if has_loop h || is_bipartite h then Polynomial else Np_complete
+
+let solve g h =
+  let h_edges = require_graph h in
+  let edge_rel = Structure.relation h h_edges in
+  let n = Structure.size g in
+  let g_has_edges = Structure.total_tuples g > 0 in
+  match Relation.choose (Relation.filter (fun t -> t.(0) = t.(1)) edge_rel) with
+  | Some loop -> Some (Array.make n loop.(0))
+  | None ->
+    if Relation.is_empty edge_rel then begin
+      (* Edgeless target: sources with facts cannot map. *)
+      if g_has_edges then None
+      else if n = 0 then Some [||]
+      else if Structure.size h = 0 then None
+      else Some (Array.make n 0)
+    end
+    else if not (is_bipartite h) then
+      invalid_arg "Graph_dichotomy.solve: target is NP-complete (Hell-Nesetril)"
+    else begin
+      (* Bipartite target with an edge: G -> H iff G is 2-colourable. *)
+      match two_colouring g with
+      | None -> None
+      | Some colour -> (
+        match Relation.choose edge_rel with
+        | Some edge -> Some (Array.map (fun c -> if c = 0 then edge.(0) else edge.(1))
+                               (Array.sub colour 0 n))
+        | None -> assert false)
+    end

@@ -1,0 +1,106 @@
+open Relational
+
+type route =
+  | Schaefer_direct of Schaefer.Classify.schaefer_class
+  | Booleanized of Schaefer.Classify.schaefer_class
+  | Graph_target of Graph_dichotomy.verdict
+  | Acyclic
+  | Bounded_treewidth of int
+  | Consistency_refutation of int
+  | Backtracking
+
+let route_name = function
+  | Schaefer_direct cls -> "schaefer-direct(" ^ Schaefer.Classify.class_name cls ^ ")"
+  | Booleanized cls -> "booleanized(" ^ Schaefer.Classify.class_name cls ^ ")"
+  | Graph_target Graph_dichotomy.Polynomial -> "hell-nesetril(tractable graph)"
+  | Graph_target Graph_dichotomy.Np_complete -> "hell-nesetril(np-complete)"
+  | Acyclic -> "acyclic-yannakakis"
+  | Bounded_treewidth w -> Printf.sprintf "treewidth-dp(width %d)" w
+  | Consistency_refutation k -> Printf.sprintf "%d-consistency" k
+  | Backtracking -> "backtracking"
+
+type result = { answer : Homomorphism.mapping option; route : route }
+
+let try_schaefer a b =
+  if Structure.size b <> 2 then None
+  else
+    match Schaefer.Classify.classify b with
+    | None -> None
+    | Some cls -> (
+      match Schaefer.Uniform.solve_direct a b with
+      | Schaefer.Uniform.Hom h -> Some { answer = Some h; route = Schaefer_direct cls }
+      | Schaefer.Uniform.No_hom -> Some { answer = None; route = Schaefer_direct cls }
+      | Schaefer.Uniform.Not_applicable _ -> None)
+
+let try_booleanize ~threshold a b =
+  if Structure.size b > threshold || Structure.size b < 1 then None
+  else
+    match Schaefer.Booleanize.solve a b with
+    | Schaefer.Booleanize.Hom h ->
+      let bb = Schaefer.Booleanize.encode_target b in
+      let cls =
+        Option.value ~default:Schaefer.Classify.Affine (Schaefer.Classify.classify bb)
+      in
+      Some { answer = Some h; route = Booleanized cls }
+    | Schaefer.Booleanize.No_hom ->
+      let bb = Schaefer.Booleanize.encode_target b in
+      let cls =
+        Option.value ~default:Schaefer.Classify.Affine (Schaefer.Classify.classify bb)
+      in
+      Some { answer = None; route = Booleanized cls }
+    | Schaefer.Booleanize.Not_schaefer _ -> None
+    | exception Invalid_argument _ -> None
+
+let try_graph a b =
+  if
+    Graph_dichotomy.is_undirected_graph b
+    && Vocabulary.equal (Structure.vocabulary a) (Structure.vocabulary b)
+    && Graph_dichotomy.complexity b = Graph_dichotomy.Polynomial
+  then
+    Some
+      { answer = Graph_dichotomy.solve a b; route = Graph_target Graph_dichotomy.Polynomial }
+  else None
+
+let try_acyclic a b =
+  if Treewidth.Hypergraph.is_acyclic a then
+    Some { answer = Treewidth.Hypergraph.solve_acyclic a b; route = Acyclic }
+  else None
+
+let try_treewidth ~max_treewidth a b =
+  let td = Treewidth.Td_solver.decompose a in
+  let w = Treewidth.Tree_decomposition.width td in
+  if w > max_treewidth then None
+  else
+    Some
+      {
+        answer = Treewidth.Td_solver.solve_with_decomposition td a b;
+        route = Bounded_treewidth w;
+      }
+
+let try_consistency ~k a b =
+  if Pebble.Game.spoiler_wins ~k a b then
+    Some { answer = None; route = Consistency_refutation k }
+  else None
+
+let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4) a b =
+  let ( <|> ) r f = match r with Some _ -> r | None -> f () in
+  let result =
+    try_schaefer a b
+    <|> (fun () -> try_graph a b)
+    <|> (fun () -> try_booleanize ~threshold:booleanize_threshold a b)
+    <|> (fun () -> try_acyclic a b)
+    <|> (fun () -> try_treewidth ~max_treewidth a b)
+    <|> (fun () -> try_consistency ~k:consistency_k a b)
+    <|> fun () -> Some { answer = Homomorphism.find a b; route = Backtracking }
+  in
+  match result with Some r -> r | None -> assert false
+
+let exists a b = (solve a b).answer <> None
+
+let solve_containment q1 q2 =
+  if Cq.Query.arity q1 <> Cq.Query.arity q2 then
+    invalid_arg "Solver.solve_containment: head arities differ";
+  let d1, _ = Cq.Canonical.database q1 in
+  let d2, _ = Cq.Canonical.database q2 in
+  let r = solve d2 d1 in
+  (r.answer <> None, r.route)

@@ -1,0 +1,53 @@
+open Relational
+
+(** The unified uniform solver: given structures [A] and [B], pick the best
+    applicable tractable route from the paper and fall back to general
+    backtracking search only when none applies.
+
+    Route order:
+    + Boolean Schaefer target — direct algorithms of Theorem 3.4;
+    + tractable undirected-graph target (Hell–Nešetřil: bipartite or loop);
+    + Booleanized Schaefer target (Lemma 3.5) for small non-Boolean targets;
+    + acyclic source — Yannakakis semi-joins (querywidth 1);
+    + bounded-treewidth source — dynamic programming (Theorem 5.4);
+    + k-consistency refutation — the existential k-pebble game
+      (Theorems 4.7–4.9), which may settle "no" and always prunes;
+    + MAC backtracking (NP-complete in general; Section 2).
+
+    All routes agree on the answer; the benches measure how much each one
+    saves on its own instance class. *)
+
+type route =
+  | Schaefer_direct of Schaefer.Classify.schaefer_class
+  | Booleanized of Schaefer.Classify.schaefer_class
+  | Graph_target of Graph_dichotomy.verdict
+  | Acyclic
+  | Bounded_treewidth of int  (** Width of the decomposition used. *)
+  | Consistency_refutation of int  (** Number of pebbles. *)
+  | Backtracking
+
+val route_name : route -> string
+
+type result = {
+  answer : Homomorphism.mapping option;
+  route : route;  (** The route that produced the answer. *)
+}
+
+val solve :
+  ?max_treewidth:int ->
+  ?consistency_k:int ->
+  ?booleanize_threshold:int ->
+  Structure.t ->
+  Structure.t ->
+  result
+(** [max_treewidth] (default 3) caps the decomposition width the DP route
+    accepts; [consistency_k] (default 2) is the pebble count of the
+    refutation pass; [booleanize_threshold] (default 4) caps [|B|] for the
+    Booleanization attempt. *)
+
+val exists : Structure.t -> Structure.t -> bool
+
+val solve_containment : Cq.Query.t -> Cq.Query.t -> bool * route
+(** [Q1 ⊆ Q2] through the same dispatcher: restrictions on [Q2] surface as
+    source-side structure (treewidth/acyclicity), restrictions on [Q1] as
+    target-side structure (Schaefer after Booleanization). *)

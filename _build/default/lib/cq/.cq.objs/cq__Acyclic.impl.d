@@ -1,0 +1,1 @@
+lib/cq/acyclic.ml: Array Canonical Fun Hashtbl Int List Query Relation Relational Structure Treewidth Tuple

@@ -1,0 +1,1 @@
+lib/cq/acyclic.mli: Query Relational Structure Tuple

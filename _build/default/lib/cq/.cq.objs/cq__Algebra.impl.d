@@ -1,0 +1,1 @@
+lib/cq/algebra.ml: Array Format Hashtbl List Printf Query Relation Relational String Structure Tuple

@@ -1,0 +1,1 @@
+lib/cq/algebra.mli: Format Query Relational Structure Tuple

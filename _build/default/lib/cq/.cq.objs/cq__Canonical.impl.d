@@ -1,0 +1,1 @@
+lib/cq/canonical.ml: Array Fun List Printf Query Relation Relational String Structure Vocabulary

@@ -1,0 +1,1 @@
+lib/cq/canonical.mli: Query Relational Structure

@@ -1,0 +1,1 @@
+lib/cq/chase.ml: Array Canonical Hashtbl Homomorphism List Query Relational Structure Vocabulary

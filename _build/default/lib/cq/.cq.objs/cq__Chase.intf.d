@@ -1,0 +1,1 @@
+lib/cq/chase.mli: Query Relational Structure

@@ -1,0 +1,1 @@
+lib/cq/constants.ml: Array Canonical Homomorphism List Query Relational String Structure Tuple Vocabulary

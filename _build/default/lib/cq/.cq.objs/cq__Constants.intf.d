@@ -1,0 +1,1 @@
+lib/cq/constants.mli: Query Relational Structure Tuple

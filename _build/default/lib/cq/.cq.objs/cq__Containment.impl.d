@@ -1,0 +1,1 @@
+lib/cq/containment.ml: Array Canonical Homomorphism List Printf Query Relational Schaefer Structure Tuple

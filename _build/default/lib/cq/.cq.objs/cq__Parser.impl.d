@@ -1,0 +1,1 @@
+lib/cq/parser.ml: List Printf Query String

@@ -1,0 +1,1 @@
+lib/cq/query.ml: Array Format Hashtbl List Relational String Vocabulary

@@ -1,0 +1,1 @@
+lib/cq/query.mli: Format Relational Vocabulary

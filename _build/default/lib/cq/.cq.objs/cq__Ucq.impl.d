@@ -1,0 +1,1 @@
+lib/cq/ucq.ml: Containment Format List Query Relational Tuple

@@ -1,0 +1,174 @@
+open Relational
+
+let is_acyclic q =
+  let body, _ = Canonical.database_no_head q in
+  Treewidth.Hypergraph.is_acyclic body
+
+(* Small relational tables over canonical-database elements. *)
+type table = { cols : int list; rows : Tuple.t list }
+
+let project table keep =
+  let positions =
+    List.filter_map
+      (fun c ->
+        let rec find i = function
+          | [] -> None
+          | c' :: _ when c' = c -> Some i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 table.cols)
+      keep
+  in
+  let kept_cols =
+    List.filter (fun c -> List.mem c table.cols) keep
+  in
+  {
+    cols = kept_cols;
+    rows =
+      List.sort_uniq Tuple.compare
+        (List.map
+           (fun row -> Array.of_list (List.map (fun i -> row.(i)) positions))
+           table.rows);
+  }
+
+let join t1 t2 =
+  let shared =
+    List.filter (fun c -> List.mem c t2.cols) t1.cols
+  in
+  let pos cols c =
+    let rec find i = function
+      | [] -> assert false
+      | c' :: _ when c' = c -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 cols
+  in
+  let shared1 = List.map (pos t1.cols) shared in
+  let shared2 = List.map (pos t2.cols) shared in
+  let extra_positions =
+    List.mapi (fun i c -> (i, c)) t2.cols
+    |> List.filter (fun (_, c) -> not (List.mem c t1.cols))
+  in
+  let extra2 = List.map fst extra_positions in
+  let extra2_cols = List.map snd extra_positions in
+  let index = Hashtbl.create (List.length t2.rows) in
+  List.iter
+    (fun row ->
+      let key = Array.of_list (List.map (fun i -> row.(i)) shared2) in
+      Hashtbl.add index key row)
+    t2.rows;
+  let rows =
+    List.concat_map
+      (fun row1 ->
+        let key = Array.of_list (List.map (fun i -> row1.(i)) shared1) in
+        List.map
+          (fun row2 ->
+            Array.append row1 (Array.of_list (List.map (fun i -> row2.(i)) extra2)))
+          (Hashtbl.find_all index key))
+      t1.rows
+  in
+  { cols = t1.cols @ extra2_cols; rows = List.sort_uniq Tuple.compare rows }
+
+let evaluate q db =
+  let body, index = Canonical.database_no_head q in
+  match Treewidth.Hypergraph.join_forest body with
+  | None -> invalid_arg "Acyclic.evaluate: query body is cyclic"
+  | Some forest ->
+    let m = Structure.size db in
+    let head_elements =
+      List.sort_uniq Int.compare
+        (Array.to_list (Array.map (fun v -> List.assoc v index) q.Query.head))
+    in
+    let nfacts = Array.length forest.Treewidth.Hypergraph.facts in
+    (* Initial table per fact: matching target tuples over its elements. *)
+    let fact_table f =
+      let name, (t : Tuple.t) = forest.Treewidth.Hypergraph.facts.(f) in
+      let cols = Tuple.elements t in
+      let rel =
+        match Structure.relation db name with
+        | r -> r
+        | exception Not_found -> Relation.empty (Array.length t)
+      in
+      let rows =
+        Relation.fold
+          (fun (t' : Tuple.t) acc ->
+            (* Repetition-consistent tuples, projected to distinct cols. *)
+            let assignment = Hashtbl.create 4 in
+            let ok = ref true in
+            Array.iteri
+              (fun i x ->
+                match Hashtbl.find_opt assignment x with
+                | Some v -> if v <> t'.(i) then ok := false
+                | None -> Hashtbl.replace assignment x t'.(i))
+              t;
+            if !ok then
+              Array.of_list (List.map (Hashtbl.find assignment) cols) :: acc
+            else acc)
+          rel []
+      in
+      { cols; rows = List.sort_uniq Tuple.compare rows }
+    in
+    let tables = Array.init nfacts fact_table in
+    (* Bottom-up: join each node into its parent, projecting the child to
+       the columns still needed above (parent-shared + head columns). *)
+    let depth = Array.make nfacts 0 in
+    let rec d f =
+      if forest.Treewidth.Hypergraph.parent.(f) < 0 then 0
+      else 1 + d forest.Treewidth.Hypergraph.parent.(f)
+    in
+    Array.iteri (fun f _ -> depth.(f) <- d f) depth;
+    let order =
+      List.sort (fun a b -> compare depth.(b) depth.(a)) (List.init nfacts Fun.id)
+    in
+    let roots = ref [] in
+    List.iter
+      (fun f ->
+        let p = forest.Treewidth.Hypergraph.parent.(f) in
+        if p < 0 then roots := f :: !roots
+        else begin
+          let keep =
+            List.filter
+              (fun c -> List.mem c tables.(p).cols || List.mem c head_elements)
+              tables.(f).cols
+          in
+          tables.(p) <- join tables.(p) (project tables.(f) keep)
+        end)
+      order;
+    (* Combine the roots (different trees share no elements). *)
+    let combined =
+      List.fold_left
+        (fun acc f -> join acc (project tables.(f) head_elements))
+        { cols = []; rows = [ [||] ] }
+        !roots
+    in
+    (* Head columns outside every fact range over the whole universe. *)
+    let full =
+      List.fold_left
+        (fun t c ->
+          if List.mem c t.cols then t
+          else
+            {
+              cols = t.cols @ [ c ];
+              rows =
+                List.concat_map
+                  (fun row -> List.init m (fun e -> Array.append row [| e |]))
+                  t.rows;
+            })
+        combined head_elements
+    in
+    (* Project to the head, honouring order and repetitions. *)
+    let col_pos c =
+      let rec find i = function
+        | [] -> assert false
+        | c' :: _ when c' = c -> i
+        | _ :: rest -> find (i + 1) rest
+      in
+      find 0 full.cols
+    in
+    let head_positions =
+      Array.map (fun v -> col_pos (List.assoc v index)) q.Query.head
+    in
+    List.sort_uniq Tuple.compare
+      (List.map
+         (fun row -> Array.map (fun i -> row.(i)) head_positions)
+         full.rows)

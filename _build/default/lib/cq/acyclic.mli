@@ -1,0 +1,17 @@
+open Relational
+
+(** Yannakakis evaluation for acyclic conjunctive queries (the querywidth-1
+    case of Section 5, after Yannakakis 1981).
+
+    For a query whose body hypergraph passes the GYO test, the answer
+    relation is computed by joining along a join forest with early
+    projection: intermediate tables only keep the columns needed upward
+    (connecting variables) plus the distinguished variables — the classical
+    output-sensitive polynomial algorithm, in contrast to enumerating all
+    homomorphisms. *)
+
+val is_acyclic : Query.t -> bool
+
+val evaluate : Query.t -> Structure.t -> Tuple.t list
+(** Sorted answer tuples. @raise Invalid_argument if the query body is
+    cyclic (use {!Containment.evaluate} there). *)

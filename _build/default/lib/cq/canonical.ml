@@ -1,0 +1,72 @@
+open Relational
+
+let dist_pred i = Printf.sprintf "__dist%d" i
+
+let var_index q =
+  let vars = Query.variables q in
+  List.mapi (fun i v -> (v, i)) vars
+
+let build q ~with_markers =
+  let index = var_index q in
+  let lookup v = List.assoc v index in
+  let body_vocab = Query.body_vocabulary q in
+  let vocab =
+    if with_markers then
+      List.fold_left
+        (fun acc i -> Vocabulary.add acc (dist_pred i) 1)
+        body_vocab
+        (List.init (Query.arity q) Fun.id)
+    else body_vocab
+  in
+  let base = Structure.create vocab ~size:(List.length index) in
+  let with_body =
+    List.fold_left
+      (fun acc (a : Query.atom) ->
+        Structure.add_tuple acc a.pred (Array.map lookup a.args))
+      base q.Query.body
+  in
+  let db =
+    if with_markers then
+      snd
+        (Array.fold_left
+           (fun (i, acc) v ->
+             (i + 1, Structure.add_tuple acc (dist_pred i) [| lookup v |]))
+           (0, with_body) q.Query.head)
+    else with_body
+  in
+  (db, index)
+
+let database q = build q ~with_markers:true
+
+let database_no_head q = build q ~with_markers:false
+
+let boolean_query a =
+  let body =
+    List.rev
+      (Structure.fold_tuples
+         (fun name t acc ->
+           (name, List.map (Printf.sprintf "v%d") (Array.to_list t)) :: acc)
+         a [])
+  in
+  Query.make ~head:[] body
+
+let to_query ?(head_pred = "Q") ~arity ~names structure =
+  let head =
+    List.init arity (fun i ->
+        match Relation.elements (Structure.relation structure (dist_pred i)) with
+        | [ t ] -> names t.(0)
+        | [] -> invalid_arg (Printf.sprintf "Canonical.to_query: missing marker %d" i)
+        | _ -> invalid_arg (Printf.sprintf "Canonical.to_query: duplicated marker %d" i))
+  in
+  let is_marker name =
+    String.length name > 6 && String.sub name 0 6 = "__dist"
+  in
+  let body =
+    List.rev
+      (Structure.fold_tuples
+         (fun name t acc ->
+           if is_marker name then acc
+           else (name, List.map names (Array.to_list t)) :: acc)
+         structure [])
+  in
+  Query.make ~head_pred ~head body

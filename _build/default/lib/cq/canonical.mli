@@ -1,0 +1,31 @@
+open Relational
+
+(** Canonical databases of conjunctive queries and canonical queries of
+    structures (Section 2 of the paper).
+
+    The canonical database [D_Q] has one element per variable of [Q], one
+    fact per body atom and, for the [i]-th distinguished variable, a fact in
+    a reserved unary marker predicate [__dist<i>].  Chandra–Merlin:
+    [Q1 ⊆ Q2] iff there is a homomorphism [D_{Q2} -> D_{Q1}]. *)
+
+val dist_pred : int -> string
+(** Marker predicate for the [i]-th head position. *)
+
+val database : Query.t -> Structure.t * (string * int) list
+(** [D_Q] with distinguished-variable markers, and the variable-to-element
+    mapping. *)
+
+val database_no_head : Query.t -> Structure.t * (string * int) list
+(** The frozen body only (no marker predicates) — the database to evaluate
+    other queries over. *)
+
+val boolean_query : Structure.t -> Query.t
+(** [Q_A]: the Boolean conjunctive query whose body lists the facts of [A],
+    with every element viewed as an existential variable [v<i>].  There is a
+    homomorphism [A -> B] iff [Q_B ⊆ Q_A]. *)
+
+val to_query : ?head_pred:string -> arity:int -> names:(int -> string) -> Structure.t -> Query.t
+(** Rebuild a query from a marker-carrying canonical database (the inverse of
+    {!database}, used after taking cores).  The [i]-th head variable is the
+    element carrying the [__dist<i>] fact.
+    @raise Invalid_argument if some marker is missing or duplicated. *)

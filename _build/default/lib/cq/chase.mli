@@ -1,0 +1,40 @@
+open Relational
+
+(** The chase: conjunctive-query containment under tuple-generating
+    dependencies (inclusion dependencies, foreign keys, ...), the classic
+    extension of the Chandra–Merlin test used by optimizers.
+
+    A TGD [body -> head] asserts that whenever the body matches, the head
+    must too (head variables absent from the body are existential).
+    Chasing a database applies all dependencies to a fixpoint, inventing
+    labelled nulls (fresh elements) for existentials; containment under a
+    set of TGDs reduces to evaluating [Q2] over the chased canonical
+    database of [Q1]. *)
+
+type tgd = { body : Query.atom list; head : Query.atom list }
+
+exception Diverged
+
+val tgd : body:(string * string list) list -> head:(string * string list) list -> tgd
+(** @raise Invalid_argument on arity conflicts or an empty body/head. *)
+
+val frontier : tgd -> string list
+(** Variables shared between body and head. *)
+
+val existentials : tgd -> string list
+(** Head variables absent from the body (chased as fresh nulls). *)
+
+val is_weakly_acyclic : tgd list -> bool
+(** The standard position-graph test guaranteeing chase termination. *)
+
+val chase : ?max_steps:int -> tgd list -> Structure.t -> Structure.t
+(** Restricted chase to a fixpoint (a trigger fires only when its head is
+    not already satisfied).  Existing elements keep their identity; nulls
+    are appended.  @raise Diverged after [max_steps] (default 1000) trigger
+    firings. *)
+
+val contained_under : ?max_steps:int -> tgd list -> Query.t -> Query.t -> bool
+(** [Q1 ⊆_Σ Q2]: containment over all databases satisfying the
+    dependencies.  Sound and complete when the chase terminates.
+    @raise Diverged as {!chase}; @raise Invalid_argument on head-arity
+    mismatch. *)

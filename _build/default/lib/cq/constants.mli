@@ -1,0 +1,26 @@
+open Relational
+
+(** Conjunctive queries with constants, Prolog-style: identifiers starting
+    with a lowercase letter are constants, all others are variables.
+
+    Constants refine the Chandra–Merlin test: the canonical databases carry
+    a reserved unary marker per constant, so homomorphisms must send each
+    constant to itself (unique-names assumption). *)
+
+val is_constant : string -> bool
+
+val constants : Query.t -> string list
+(** Distinct constants, in first-occurrence order. *)
+
+val has_constants : Query.t -> bool
+
+val contained : Query.t -> Query.t -> bool
+(** [Q1 ⊆ Q2] under the constants reading.
+    @raise Invalid_argument when head arities differ. *)
+
+val equivalent : Query.t -> Query.t -> bool
+
+val evaluate : Query.t -> binding:(string * int) list -> Structure.t -> Tuple.t list
+(** Evaluate with each constant bound to a database element.
+    @raise Invalid_argument if a constant of the query is unbound or bound
+    outside the universe. *)

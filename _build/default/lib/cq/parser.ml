@@ -1,0 +1,114 @@
+exception Parse_error of string
+
+type token =
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Turnstile
+  | Period
+  | Eof
+
+let is_ident_start c = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      tokens := Ident (String.sub input start (!i - start)) :: !tokens
+    end
+    else begin
+      (match c with
+      | '(' -> tokens := Lparen :: !tokens
+      | ')' -> tokens := Rparen :: !tokens
+      | ',' -> tokens := Comma :: !tokens
+      | '.' -> tokens := Period :: !tokens
+      | ':' ->
+        if !i + 1 < n && input.[!i + 1] = '-' then begin
+          tokens := Turnstile :: !tokens;
+          incr i
+        end
+        else raise (Parse_error (Printf.sprintf "unexpected ':' at offset %d" !i))
+      | _ -> raise (Parse_error (Printf.sprintf "unexpected character %C at offset %d" c !i)));
+      incr i
+    end
+  done;
+  List.rev (Eof :: !tokens)
+
+type state = { mutable tokens : token list }
+
+let peek st = match st.tokens with [] -> Eof | t :: _ -> t
+
+let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st token what =
+  if peek st = token then advance st
+  else raise (Parse_error ("expected " ^ what))
+
+let parse_ident st what =
+  match peek st with
+  | Ident name ->
+    advance st;
+    name
+  | _ -> raise (Parse_error ("expected " ^ what))
+
+(* varlist := epsilon | IDENT (',' IDENT)* *)
+let parse_args st =
+  if peek st = Rparen then []
+  else begin
+    let rec loop acc =
+      let v = parse_ident st "a variable" in
+      if peek st = Comma then begin
+        advance st;
+        loop (v :: acc)
+      end
+      else List.rev (v :: acc)
+    in
+    loop []
+  end
+
+let parse_atom st =
+  let pred = parse_ident st "a predicate" in
+  expect st Lparen "'('";
+  let args = parse_args st in
+  expect st Rparen "')'";
+  (pred, args)
+
+let parse string =
+  let st = { tokens = tokenize string } in
+  let head_pred = parse_ident st "the head predicate" in
+  let head =
+    if peek st = Lparen then begin
+      advance st;
+      let args = parse_args st in
+      expect st Rparen "')'";
+      args
+    end
+    else []
+  in
+  expect st Turnstile "':-'";
+  let rec atoms acc =
+    let a = parse_atom st in
+    if peek st = Comma then begin
+      advance st;
+      atoms (a :: acc)
+    end
+    else List.rev (a :: acc)
+  in
+  let body = atoms [] in
+  if peek st = Period then advance st;
+  if peek st <> Eof then raise (Parse_error "trailing input after query");
+  try Query.make ~head_pred ~head body
+  with Invalid_argument msg -> raise (Parse_error msg)
+
+let parse_opt string = match parse string with q -> Some q | exception Parse_error _ -> None

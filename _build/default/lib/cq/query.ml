@@ -1,0 +1,113 @@
+open Relational
+
+type atom = { pred : string; args : string array }
+
+type t = {
+  head_pred : string;
+  head : string array;
+  body : atom list;
+}
+
+(* Predicate names reserved for the distinguished-variable markers of
+   canonical databases. *)
+let reserved_prefix = "__dist"
+
+let make ?(head_pred = "Q") ~head body =
+  let arities = Hashtbl.create 8 in
+  List.iter
+    (fun (pred, args) ->
+      if String.length pred >= String.length reserved_prefix
+         && String.sub pred 0 (String.length reserved_prefix) = reserved_prefix
+      then invalid_arg ("Query.make: reserved predicate name " ^ pred);
+      let arity = List.length args in
+      match Hashtbl.find_opt arities pred with
+      | Some a when a <> arity ->
+        invalid_arg ("Query.make: predicate " ^ pred ^ " used with two arities")
+      | _ -> Hashtbl.replace arities pred arity)
+    body;
+  {
+    head_pred;
+    head = Array.of_list head;
+    body = List.map (fun (pred, args) -> { pred; args = Array.of_list args }) body;
+  }
+
+let arity q = Array.length q.head
+
+let variables q =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let visit v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      acc := v :: !acc
+    end
+  in
+  Array.iter visit q.head;
+  List.iter (fun a -> Array.iter visit a.args) q.body;
+  List.rev !acc
+
+let existential_variables q =
+  let head = Array.to_list q.head in
+  List.filter (fun v -> not (List.mem v head)) (variables q)
+
+let body_vocabulary q =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  List.iter
+    (fun a ->
+      if not (Hashtbl.mem seen a.pred) then begin
+        Hashtbl.add seen a.pred ();
+        acc := (a.pred, Array.length a.args) :: !acc
+      end)
+    q.body;
+  Vocabulary.create (List.rev !acc)
+
+let atom_count q = List.length q.body
+
+let predicate_occurrences q pred =
+  List.length (List.filter (fun a -> a.pred = pred) q.body)
+
+let is_two_atom q =
+  List.for_all
+    (fun (pred, _) -> predicate_occurrences q pred <= 2)
+    (Vocabulary.symbols (body_vocabulary q))
+
+let is_safe q =
+  let body_vars =
+    List.concat_map (fun a -> Array.to_list a.args) q.body
+  in
+  Array.for_all (fun v -> List.mem v body_vars) q.head
+
+let norm q =
+  List.length (variables q)
+  + List.fold_left (fun acc a -> acc + Array.length a.args) 0 q.body
+
+let rename_variables f q =
+  {
+    q with
+    head = Array.map f q.head;
+    body = List.map (fun a -> { a with args = Array.map f a.args }) q.body;
+  }
+
+let equal q1 q2 =
+  q1.head_pred = q2.head_pred
+  && q1.head = q2.head
+  && List.sort compare q1.body = List.sort compare q2.body
+
+let pp_atom ppf a =
+  Format.fprintf ppf "%s(%a)" a.pred
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_string)
+    (Array.to_list a.args)
+
+let pp ppf q =
+  Format.fprintf ppf "%s(%a) :- %a." q.head_pred
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_string)
+    (Array.to_list q.head)
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_atom)
+    q.body
+
+let to_string q = Format.asprintf "%a" pp q

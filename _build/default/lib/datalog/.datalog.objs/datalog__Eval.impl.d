@@ -1,0 +1,1 @@
+lib/datalog/eval.ml: Array Hashtbl List Program Relation Relational Structure

@@ -1,0 +1,1 @@
+lib/datalog/eval.mli: Program Relation Relational Structure

@@ -1,0 +1,1 @@
+lib/datalog/horn_program.ml: Array Eval Fun List Printf Program Relation Relational Structure Vocabulary

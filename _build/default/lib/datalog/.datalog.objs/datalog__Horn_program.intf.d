@@ -1,0 +1,1 @@
+lib/datalog/horn_program.mli: Program Relational Structure

@@ -1,0 +1,1 @@
+lib/datalog/program.ml: Array Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/datalog/programs.ml: Parser

@@ -1,0 +1,1 @@
+lib/datalog/rho.ml: Array Eval List Printf Program Relation Relational String Structure Vocabulary

@@ -1,0 +1,1 @@
+lib/datalog/rho.mli: Program Relational Structure

@@ -1,0 +1,155 @@
+open Relational
+
+type strategy = Naive | Seminaive
+
+type stats = { rounds : int; derived : int }
+
+(* Evaluate one rule against the given fact lookup.  [delta] optionally
+   designates one body-atom index whose relation is replaced, to implement
+   semi-naive evaluation.  Returns the derived head tuples. *)
+let eval_rule ~universe ~facts ?delta (r : Program.rule) =
+  let vars = Program.rule_variables r in
+  let index = List.mapi (fun i v -> (v, i)) vars in
+  let var v = List.assoc v index in
+  let subst = Array.make (List.length vars) (-1) in
+  let out = ref [] in
+  let head_positions = Array.map var r.Program.head.args in
+  (* Emit head instances, ranging unbound head variables over the universe
+     consistently (the same variable gets the same value). *)
+  let rec emit_from i =
+    if i >= Array.length head_positions then
+      out := Array.map (fun v -> subst.(v)) head_positions :: !out
+    else if subst.(head_positions.(i)) >= 0 then emit_from (i + 1)
+    else begin
+      let v = head_positions.(i) in
+      for e = 0 to universe - 1 do
+        subst.(v) <- e;
+        emit_from (i + 1)
+      done;
+      subst.(v) <- -1
+    end
+  in
+  let rec join atoms i =
+    match atoms with
+    | [] -> emit_from 0
+    | (a : Program.atom) :: rest ->
+      let rel =
+        match delta with
+        | Some (j, d) when j = i -> d
+        | _ -> facts a.Program.pred (Array.length a.Program.args)
+      in
+      let positions = Array.map var a.Program.args in
+      Relation.iter
+        (fun t ->
+          let bound = ref [] in
+          let ok = ref true in
+          Array.iteri
+            (fun p v ->
+              if !ok then
+                if subst.(v) < 0 then begin
+                  subst.(v) <- t.(p);
+                  bound := v :: !bound
+                end
+                else if subst.(v) <> t.(p) then ok := false)
+            positions;
+          if !ok then join rest (i + 1);
+          List.iter (fun v -> subst.(v) <- -1) !bound)
+        rel
+  in
+  join r.Program.body 0;
+  !out
+
+let fixpoint_with_stats ?(strategy = Seminaive) p structure =
+  let universe = Structure.size structure in
+  let idbs = Program.idb_predicates p in
+  let tables = Hashtbl.create 16 in
+  List.iter
+    (fun name -> Hashtbl.replace tables name (Relation.empty (Program.predicate_arity p name)))
+    idbs;
+  let facts name arity =
+    match Hashtbl.find_opt tables name with
+    | Some r -> r
+    | None -> (
+      match Structure.relation structure name with
+      | r -> r
+      | exception Not_found -> Relation.empty arity)
+  in
+  let derived = ref 0 in
+  let add name tuples =
+    let r = Hashtbl.find tables name in
+    let r' =
+      List.fold_left
+        (fun acc t -> if Relation.mem acc t then acc else (incr derived; Relation.add acc t))
+        r tuples
+    in
+    let fresh = Relation.diff r' r in
+    Hashtbl.replace tables name r';
+    fresh
+  in
+  let rounds = ref 0 in
+  (match strategy with
+  | Naive ->
+    let changed = ref true in
+    while !changed do
+      incr rounds;
+      changed := false;
+      List.iter
+        (fun r ->
+          let tuples = eval_rule ~universe ~facts r in
+          if not (Relation.is_empty (add r.Program.head.pred tuples)) then changed := true)
+        p.Program.rules
+    done
+  | Seminaive ->
+    (* Round 0: full evaluation (IDB tables are empty, so only rules without
+       IDB body atoms can fire). *)
+    incr rounds;
+    let deltas = Hashtbl.create 16 in
+    List.iter
+      (fun name -> Hashtbl.replace deltas name (Relation.empty (Program.predicate_arity p name)))
+      idbs;
+    List.iter
+      (fun r ->
+        let fresh = add r.Program.head.pred (eval_rule ~universe ~facts r) in
+        Hashtbl.replace deltas r.Program.head.pred
+          (Relation.union (Hashtbl.find deltas r.Program.head.pred) fresh))
+      p.Program.rules;
+    let any_delta () =
+      Hashtbl.fold (fun _ d acc -> acc || not (Relation.is_empty d)) deltas false
+    in
+    while any_delta () do
+      incr rounds;
+      let new_deltas = Hashtbl.create 16 in
+      List.iter
+        (fun name ->
+          Hashtbl.replace new_deltas name
+            (Relation.empty (Program.predicate_arity p name)))
+        idbs;
+      List.iter
+        (fun r ->
+          List.iteri
+            (fun i (a : Program.atom) ->
+              if List.mem a.Program.pred idbs then begin
+                let d = Hashtbl.find deltas a.Program.pred in
+                if not (Relation.is_empty d) then begin
+                  let fresh =
+                    add r.Program.head.pred (eval_rule ~universe ~facts ~delta:(i, d) r)
+                  in
+                  Hashtbl.replace new_deltas r.Program.head.pred
+                    (Relation.union (Hashtbl.find new_deltas r.Program.head.pred) fresh)
+                end
+              end)
+            r.Program.body)
+        p.Program.rules;
+      Hashtbl.reset deltas;
+      Hashtbl.iter (fun name d -> Hashtbl.replace deltas name d) new_deltas
+    done);
+  ( List.map (fun name -> (name, Hashtbl.find tables name)) idbs,
+    { rounds = !rounds; derived = !derived } )
+
+let fixpoint ?strategy p structure = fst (fixpoint_with_stats ?strategy p structure)
+
+let goal_relation ?strategy p structure =
+  List.assoc p.Program.goal (fixpoint ?strategy p structure)
+
+let goal_holds ?strategy p structure =
+  not (Relation.is_empty (goal_relation ?strategy p structure))

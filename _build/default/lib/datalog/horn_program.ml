@@ -1,0 +1,68 @@
+open Relational
+
+let var i = Printf.sprintf "X%d" i
+
+(* All subsets of positions [0..k-1], as bit masks. *)
+let subsets k = List.init (1 lsl k) Fun.id
+
+let positions_of_mask k mask =
+  List.filter (fun i -> (mask lsr i) land 1 = 1) (List.init k Fun.id)
+
+let build b =
+  if Structure.size b <> 2 then invalid_arg "Horn_program.build: target is not Boolean";
+  let rules = ref [] in
+  let add r = rules := r :: !rules in
+  List.iter
+    (fun (name, arity) ->
+      let masks =
+        Relation.fold
+          (fun t acc ->
+            let m = ref 0 in
+            Array.iteri (fun i v -> if v = 1 then m := !m lor (1 lsl i)) t;
+            !m :: acc)
+          (Structure.relation b name)
+          []
+      in
+      (* Horn check: AND-closure. *)
+      List.iter
+        (fun m1 ->
+          List.iter
+            (fun m2 ->
+              if not (List.mem (m1 land m2) masks) then
+                invalid_arg ("Horn_program.build: relation " ^ name ^ " is not Horn"))
+            masks)
+        masks;
+      List.iter
+        (fun x ->
+          let antecedents =
+            List.map (fun i -> { Program.pred = "__One"; args = [| var i |] })
+              (positions_of_mask arity x)
+          in
+          let body = { Program.pred = name; args = Array.init arity var } :: antecedents in
+          (* Valid implications X -> j become One rules. *)
+          for j = 0 to arity - 1 do
+            if (x lsr j) land 1 = 0 then begin
+              let valid =
+                List.for_all
+                  (fun t' -> t' land x <> x || (t' lsr j) land 1 = 1)
+                  masks
+              in
+              if valid then
+                add (Program.rule { Program.pred = "__One"; args = [| var j |] } body)
+            end
+          done;
+          (* A forced set dominated by no target tuple refutes the instance. *)
+          if not (List.exists (fun t' -> t' land x = x) masks) then
+            add (Program.rule { Program.pred = "__NoHom"; args = [||] } body))
+        (subsets arity))
+    (Vocabulary.symbols (Structure.vocabulary b));
+  (* Ensure both IDB predicates exist even for degenerate targets. *)
+  add
+    (Program.rule { Program.pred = "__NoHom"; args = [||] }
+       [ { Program.pred = "__Never"; args = [||] } ]);
+  add
+    (Program.rule { Program.pred = "__One"; args = [| "X" |] }
+       [ { Program.pred = "__Never"; args = [||] }; { Program.pred = "__One"; args = [| "X" |] } ]);
+  Program.make ~goal:"__NoHom" (List.rev !rules)
+
+let no_homomorphism b a = Eval.goal_holds (build b) a

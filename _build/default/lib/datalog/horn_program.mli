@@ -1,0 +1,19 @@
+open Relational
+
+(** Remark 4.10(2): for a Boolean Horn structure [B] whose relations have
+    arity at most [k], the complement of [CSP(B)] is expressible by a
+    k-Datalog program — the declarative rendering of the direct Horn
+    algorithm of Theorem 3.4.
+
+    The IDB predicate [__One(x)] says "element x is forced to 1"; for every
+    valid implication [X -> j] of a target relation there is a rule, and the
+    goal fires when some fact's forced positions are dominated by no target
+    tuple. *)
+
+val build : Structure.t -> Program.t
+(** @raise Invalid_argument if [B] is not a Boolean structure with all
+    relations Horn (AND-closed). *)
+
+val no_homomorphism : Structure.t -> Structure.t -> bool
+(** [no_homomorphism b a]: evaluate the program for [B] on [A]; [true] iff
+    there is no homomorphism [A -> B]. *)

@@ -1,0 +1,121 @@
+exception Parse_error of string
+
+type token =
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Turnstile
+  | Period
+  | Eof
+
+let is_ident_start c = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '%' then begin
+      (* Comment to end of line. *)
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      tokens := Ident (String.sub input start (!i - start)) :: !tokens
+    end
+    else begin
+      (match c with
+      | '(' -> tokens := Lparen :: !tokens
+      | ')' -> tokens := Rparen :: !tokens
+      | ',' -> tokens := Comma :: !tokens
+      | '.' -> tokens := Period :: !tokens
+      | ':' ->
+        if !i + 1 < n && input.[!i + 1] = '-' then begin
+          tokens := Turnstile :: !tokens;
+          incr i
+        end
+        else raise (Parse_error (Printf.sprintf "unexpected ':' at offset %d" !i))
+      | _ ->
+        raise (Parse_error (Printf.sprintf "unexpected character %C at offset %d" c !i)));
+      incr i
+    end
+  done;
+  List.rev (Eof :: !tokens)
+
+type state = { mutable tokens : token list }
+
+let peek st = match st.tokens with [] -> Eof | t :: _ -> t
+
+let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st token what =
+  if peek st = token then advance st else raise (Parse_error ("expected " ^ what))
+
+let parse_ident st what =
+  match peek st with
+  | Ident name ->
+    advance st;
+    name
+  | _ -> raise (Parse_error ("expected " ^ what))
+
+let parse_atom st =
+  let pred = parse_ident st "a predicate" in
+  if peek st = Lparen then begin
+    advance st;
+    let args =
+      if peek st = Rparen then []
+      else begin
+        let rec loop acc =
+          let v = parse_ident st "a variable" in
+          if peek st = Comma then begin
+            advance st;
+            loop (v :: acc)
+          end
+          else List.rev (v :: acc)
+        in
+        loop []
+      end
+    in
+    expect st Rparen "')'";
+    Program.atom pred args
+  end
+  else Program.atom pred []
+
+let parse_rule st =
+  let head = parse_atom st in
+  let body =
+    if peek st = Turnstile then begin
+      advance st;
+      let rec loop acc =
+        let a = parse_atom st in
+        if peek st = Comma then begin
+          advance st;
+          loop (a :: acc)
+        end
+        else List.rev (a :: acc)
+      in
+      loop []
+    end
+    else []
+  in
+  expect st Period "'.'";
+  Program.rule head body
+
+let parse ~goal input =
+  let st = { tokens = tokenize input } in
+  let rec rules acc =
+    if peek st = Eof then List.rev acc else rules (parse_rule st :: acc)
+  in
+  let rules = rules [] in
+  if rules = [] then raise (Parse_error "empty program");
+  Program.make ~goal rules

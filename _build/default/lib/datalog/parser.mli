@@ -1,0 +1,15 @@
+(** Parser for Datalog programs.  Each rule ends with a period:
+
+    {[
+      P(X, Y) :- E(X, Y).
+      P(X, Y) :- P(X, Z), E(Z, W), E(W, Y).
+      Q :- P(X, X).
+    ]}
+
+    Facts may be written without a body ([T(X, X).]). *)
+
+exception Parse_error of string
+
+val parse : goal:string -> string -> Program.t
+(** @raise Parse_error on malformed input;
+    @raise Invalid_argument if the goal is not an IDB predicate. *)

@@ -1,0 +1,82 @@
+open Relational
+
+let predicate_name b =
+  "T" ^ String.concat "_" (List.map string_of_int (Array.to_list b))
+
+let var i = Printf.sprintf "X%d" i
+
+(* All k-tuples over [0 .. n-1]. *)
+let all_tuples n k =
+  let rec loop = function
+    | 0 -> [ [] ]
+    | i -> List.concat_map (fun t -> List.init n (fun c -> c :: t)) (loop (i - 1))
+  in
+  List.map Array.of_list (loop k)
+
+let build b ~k =
+  if k < 1 then invalid_arg "Rho.build: k must be positive";
+  let n = Structure.size b in
+  if n = 0 then invalid_arg "Rho.build: target structure is empty";
+  let tuples = all_tuples n k in
+  let rules = ref [] in
+  let add r = rules := r :: !rules in
+  (* Rule group 1: a configuration whose correspondence is not a mapping is
+     immediately winning for the Spoiler. *)
+  List.iter
+    (fun bt ->
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          if bt.(i) <> bt.(j) then begin
+            let args = Array.init k var in
+            args.(j) <- var i;
+            add (Program.rule { Program.pred = predicate_name bt; args } [])
+          end
+        done
+      done)
+    tuples;
+  (* Rule group 2: a pebbled fact of A that B does not match. *)
+  List.iter
+    (fun bt ->
+      List.iter
+        (fun (rname, arity) ->
+          let rel = Structure.relation b rname in
+          List.iter
+            (fun positions ->
+              let image = Array.map (fun i -> bt.(i)) positions in
+              if not (Relation.mem rel image) then
+                add
+                  (Program.rule
+                     { Program.pred = predicate_name bt; args = Array.init k var }
+                     [ { Program.pred = rname;
+                         args = Array.map var positions } ]))
+            (all_tuples k arity))
+        (Vocabulary.symbols (Structure.vocabulary b)))
+    tuples;
+  (* Rule group 3: the Spoiler repebbles position j; whatever the Duplicator
+     answers, the Spoiler still wins. *)
+  List.iter
+    (fun bt ->
+      for j = 0 to k - 1 do
+        let head_args = Array.init k var in
+        let body =
+          List.init n (fun c ->
+              let bt' = Array.copy bt in
+              bt'.(j) <- c;
+              let args = Array.init k var in
+              args.(j) <- "Y";
+              { Program.pred = predicate_name bt'; args })
+        in
+        add (Program.rule { Program.pred = predicate_name bt; args = head_args } body)
+      done)
+    tuples;
+  (* Goal: the Spoiler wins from some initial placement against every
+     Duplicator reply. *)
+  add
+    (Program.rule
+       { Program.pred = "S"; args = [||] }
+       (List.map
+          (fun bt -> { Program.pred = predicate_name bt; args = Array.init k var })
+          tuples));
+  Program.make ~goal:"S" (List.rev !rules)
+
+let spoiler_wins b ~k a = Eval.goal_holds (build b ~k) a

@@ -1,0 +1,1 @@
+lib/logic/fo_eval.ml: Array Formula Hashtbl List Relation Relational Structure Tuple

@@ -1,0 +1,1 @@
+lib/logic/fo_eval.mli: Formula Relational Structure Tuple

@@ -1,0 +1,1 @@
+lib/logic/fo_parser.ml: Array Formula List Printf String

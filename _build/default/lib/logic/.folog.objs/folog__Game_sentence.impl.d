@@ -1,0 +1,1 @@
+lib/logic/game_sentence.ml: Array Formula Fun Lfp List Printf Relational Structure Sum Vocabulary

@@ -1,0 +1,1 @@
+lib/logic/game_sentence.mli: Formula Lfp Relational Structure Vocabulary

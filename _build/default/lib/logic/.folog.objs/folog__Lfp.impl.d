@@ -1,0 +1,1 @@
+lib/logic/lfp.ml: Array Fo_eval Formula List Printf Relation Relational Structure Vocabulary

@@ -1,0 +1,1 @@
+lib/logic/lfp.mli: Formula Relation Relational Structure

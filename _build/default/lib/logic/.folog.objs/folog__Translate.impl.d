@@ -1,0 +1,1 @@
+lib/logic/translate.ml: Array Fo_eval Formula Int List Printf Relational Structure Td_solver Tree_decomposition Treewidth Tuple

@@ -1,0 +1,1 @@
+lib/logic/translate.mli: Formula Relational Structure Tree_decomposition Treewidth

@@ -1,0 +1,92 @@
+type t =
+  | True
+  | False
+  | Atom of string * string array
+  | Equal of string * string
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Exists of string * t
+  | Forall of string * t
+
+let distinct vars =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.add seen v ();
+        true
+      end)
+    vars
+
+let rec free_variables_list f =
+  match f with
+  | True | False -> []
+  | Atom (_, args) -> Array.to_list args
+  | Equal (x, y) -> [ x; y ]
+  | Not g -> free_variables_list g
+  | And gs | Or gs -> List.concat_map free_variables_list gs
+  | Exists (x, g) | Forall (x, g) ->
+    List.filter (fun v -> v <> x) (free_variables_list g)
+
+let free_variables f = distinct (free_variables_list f)
+
+let rec all_variables_list f =
+  match f with
+  | True | False -> []
+  | Atom (_, args) -> Array.to_list args
+  | Equal (x, y) -> [ x; y ]
+  | Not g -> all_variables_list g
+  | And gs | Or gs -> List.concat_map all_variables_list gs
+  | Exists (x, g) | Forall (x, g) -> x :: all_variables_list g
+
+let all_variables f = distinct (all_variables_list f)
+
+let width f = List.length (all_variables f)
+
+let is_sentence f = free_variables f = []
+
+let rec is_existential_positive = function
+  | True | False | Atom _ | Equal _ -> true
+  | And gs | Or gs -> List.for_all is_existential_positive gs
+  | Exists (_, g) -> is_existential_positive g
+  | Not _ | Forall _ -> false
+
+let conj fs =
+  let fs = List.filter (fun f -> f <> True) fs in
+  if List.mem False fs then False
+  else
+    match fs with
+    | [] -> True
+    | [ f ] -> f
+    | fs -> And fs
+
+let exists_many vars f = List.fold_right (fun v acc -> Exists (v, acc)) vars f
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom (r, args) ->
+    Format.fprintf ppf "%s(%a)" r
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Format.pp_print_string)
+      (Array.to_list args)
+  | Equal (x, y) -> Format.fprintf ppf "%s = %s" x y
+  | Not g -> Format.fprintf ppf "~%a" pp_delim g
+  | And gs ->
+    Format.fprintf ppf "%a"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ") pp_delim)
+      gs
+  | Or gs ->
+    Format.fprintf ppf "%a"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ") pp_delim)
+      gs
+  | Exists (x, g) -> Format.fprintf ppf "exists %s. %a" x pp g
+  | Forall (x, g) -> Format.fprintf ppf "forall %s. %a" x pp g
+
+and pp_delim ppf f =
+  match f with
+  | True | False | Atom _ | Equal _ | Not _ -> pp ppf f
+  | _ -> Format.fprintf ppf "(%a)" pp f

@@ -1,0 +1,88 @@
+open Relational
+
+let xvar i = Printf.sprintf "x%d" i
+
+let yvar i = Printf.sprintf "y%d" i
+
+let t_name = "T"
+
+(* All m-tuples over [0..k-1]. *)
+let position_tuples k m =
+  let rec loop = function
+    | 0 -> [ [] ]
+    | i -> List.concat_map (fun t -> List.init k (fun c -> c :: t)) (loop (i - 1))
+  in
+  List.map Array.of_list (loop m)
+
+let mismatches vocab ~k =
+  let non_functional =
+    List.concat
+      (List.init k (fun i ->
+           List.filter_map
+             (fun j ->
+               if j > i then
+                 Some
+                   (Formula.And
+                      [
+                        Formula.Equal (xvar i, xvar j);
+                        Formula.Not (Formula.Equal (yvar i, yvar j));
+                      ])
+               else None)
+             (List.init k Fun.id)))
+  in
+  let broken_facts =
+    List.concat_map
+      (fun (name, arity) ->
+        List.map
+          (fun positions ->
+            Formula.And
+              [
+                Formula.Atom (Sum.left_name name, Array.map xvar positions);
+                Formula.Not (Formula.Atom (Sum.right_name name, Array.map yvar positions));
+              ])
+          (position_tuples k arity))
+      (Vocabulary.symbols vocab)
+  in
+  non_functional @ broken_facts
+
+let t_args k = Array.append (Array.init k xvar) (Array.init k yvar)
+
+let system vocab ~k =
+  if k < 1 then invalid_arg "Game_sentence.system: k must be positive";
+  let repebble j =
+    Formula.Exists
+      ( xvar j,
+        Formula.And
+          [
+            Formula.Atom (Sum.d1, [| xvar j |]);
+            Formula.Forall
+              ( yvar j,
+                Formula.Or
+                  [
+                    Formula.Not (Formula.Atom (Sum.d2, [| yvar j |]));
+                    Formula.Atom (t_name, t_args k);
+                  ] );
+          ] )
+  in
+  let body =
+    Formula.Or (mismatches vocab ~k @ List.init k repebble)
+  in
+  Lfp.make [ { Lfp.name = t_name; vars = t_args k; body } ]
+
+let sentence ~k =
+  let d1_guard = Formula.And (List.init k (fun i -> Formula.Atom (Sum.d1, [| xvar i |]))) in
+  let d2_guard = Formula.And (List.init k (fun i -> Formula.Atom (Sum.d2, [| yvar i |]))) in
+  let inner =
+    List.fold_right
+      (fun i acc -> Formula.Forall (yvar i, acc))
+      (List.init k Fun.id)
+      (Formula.Or [ Formula.Not d2_guard; Formula.Atom (t_name, t_args k) ])
+  in
+  List.fold_right
+    (fun i acc -> Formula.Exists (xvar i, acc))
+    (List.init k Fun.id)
+    (Formula.And [ d1_guard; inner ])
+
+let spoiler_wins ~k a b =
+  let sum = Sum.encode a b in
+  Lfp.holds sum (system (Structure.vocabulary a) ~k) (sentence ~k)

@@ -1,0 +1,123 @@
+open Relational
+
+type definition = {
+  name : string;
+  vars : string array;
+  body : Formula.t;
+}
+
+type t = { definitions : definition list }
+
+type stats = { stages : int }
+
+(* Check that every occurrence of the defined symbols is under an even
+   number of negations ([Forall] counts through its De Morgan reading,
+   which does not flip the polarity of the quantified body's atoms). *)
+let rec positive_in names polarity = function
+  | Formula.True | Formula.False | Formula.Equal _ -> true
+  | Formula.Atom (r, _) -> polarity || not (List.mem r names)
+  | Formula.Not g -> positive_in names (not polarity) g
+  | Formula.And gs | Formula.Or gs -> List.for_all (positive_in names polarity) gs
+  | Formula.Exists (_, g) | Formula.Forall (_, g) -> positive_in names polarity g
+
+let make definitions =
+  let names = List.map (fun d -> d.name) definitions in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Lfp.make: duplicate definition names";
+  List.iter
+    (fun d ->
+      let params = Array.to_list d.vars in
+      List.iter
+        (fun v ->
+          if not (List.mem v params) then
+            invalid_arg
+              (Printf.sprintf "Lfp.make: free variable %s outside parameters of %s" v
+                 d.name))
+        (Formula.free_variables d.body);
+      if not (positive_in names true d.body) then
+        invalid_arg ("Lfp.make: negative occurrence of a defined symbol in " ^ d.name))
+    definitions;
+  { definitions }
+
+(* Extend a structure with the current interpretations of the defined
+   symbols. *)
+let extend structure relations =
+  let vocab =
+    List.fold_left
+      (fun acc (name, r) -> Vocabulary.add acc name (Relation.arity r))
+      (Structure.vocabulary structure)
+      relations
+  in
+  let base = Structure.create vocab ~size:(Structure.size structure) in
+  let with_old =
+    Structure.fold_tuples
+      (fun name t acc -> Structure.add_tuple acc name t)
+      structure base
+  in
+  List.fold_left
+    (fun acc (name, r) ->
+      Relation.fold (fun t acc -> Structure.add_tuple acc name t) r acc)
+    with_old relations
+
+let evaluate_definition extended d =
+  let table = Fo_eval.eval extended d.body in
+  (* Arrange the table's columns in parameter order; parameters missing from
+     the body's free variables range over the whole universe. *)
+  let n = Structure.size extended in
+  let rows = ref [] in
+  let free = table.Fo_eval.vars in
+  let position v =
+    let i = ref (-1) in
+    Array.iteri (fun j w -> if w = v && !i < 0 then i := j) free;
+    !i
+  in
+  let positions = Array.map position d.vars in
+  List.iter
+    (fun row ->
+      (* Expand unconstrained parameters. *)
+      let rec fill i acc =
+        if i = Array.length positions then rows := Array.of_list (List.rev acc) :: !rows
+        else if positions.(i) >= 0 then fill (i + 1) (row.(positions.(i)) :: acc)
+        else
+          for v = 0 to n - 1 do
+            fill (i + 1) (v :: acc)
+          done
+      in
+      fill 0 [])
+    table.Fo_eval.rows;
+  Relation.of_list (Array.length d.vars) !rows
+
+let fixpoint_with_stats structure system =
+  let current =
+    ref
+      (List.map
+         (fun d -> (d.name, Relation.empty (Array.length d.vars)))
+         system.definitions)
+  in
+  let stages = ref 0 in
+  let changed = ref true in
+  while !changed do
+    incr stages;
+    let extended = extend structure !current in
+    let next =
+      List.map
+        (fun d ->
+          let fresh = evaluate_definition extended d in
+          (* Monotonicity: stages only grow; union in the previous stage to
+             be safe against duplicated variables in heads. *)
+          (d.name, Relation.union fresh (List.assoc d.name !current)))
+        system.definitions
+    in
+    changed :=
+      List.exists2
+        (fun (_, old_rel) (_, new_rel) -> not (Relation.equal old_rel new_rel))
+        !current next;
+    current := next
+  done;
+  (!current, { stages = !stages })
+
+let fixpoint structure system = fst (fixpoint_with_stats structure system)
+
+let holds structure system sentence =
+  let relations = fixpoint structure system in
+  Fo_eval.holds (extend structure relations) sentence

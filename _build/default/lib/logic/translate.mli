@@ -1,0 +1,18 @@
+open Relational
+open Treewidth
+
+(** Lemma 5.2: a structure [A] of treewidth [k] yields a Boolean
+    conjunctive query [Q_A] expressible in ∃FO^{k+1}, computable in
+    polynomial time from a tree decomposition.  Combined with
+    polynomial-time FO^k evaluation this proves Theorem 5.4:
+    [hom(A, B)] iff [B ⊨ Q_A]. *)
+
+val sentence_of_structure : ?decomposition:Tree_decomposition.t -> Structure.t -> Formula.t
+(** The ∃FO^{w+1} sentence equivalent to [Q_A], where [w] is the width of
+    the decomposition used (min-fill by default).  The result is
+    existential-positive and uses at most [w+1] distinct variables. *)
+
+val holds_via_fo : Structure.t -> Structure.t -> bool
+(** [holds_via_fo a b] decides [hom(A, B)] by evaluating the translated
+    sentence on [B] — the Theorem 5.4 algorithm, independent of the direct
+    dynamic programming in {!Treewidth.Td_solver}. *)

@@ -1,0 +1,1 @@
+lib/pebble/game.ml: Array Hashtbl List Queue Relation Relational Structure

@@ -1,0 +1,189 @@
+open Relational
+
+type config = (int * int) list
+
+type stats = { initial_configs : int; removed : int }
+
+(* Insert a pebble pair keeping the list sorted by first component. *)
+let rec insert (a, b) = function
+  | [] -> [ (a, b) ]
+  | (a', b') :: rest as l ->
+    if a < a' then (a, b) :: l else (a', b') :: insert (a, b) rest
+
+let rec remove_at a = function
+  | [] -> []
+  | (a', b') :: rest -> if a = a' then rest else (a', b') :: remove_at a rest
+
+let domain config = List.map fst config
+
+(* All subsets of [0..n-1] of size at most k, as sorted lists. *)
+let subsets_up_to n k =
+  let rec extend subset start size acc =
+    let acc = subset :: acc in
+    if size = k then acc
+    else
+      let rec loop i acc =
+        if i >= n then acc
+        else loop (i + 1) (extend (subset @ [ i ]) (i + 1) (size + 1) acc)
+      in
+      loop start acc
+  in
+  extend [] 0 0 []
+
+(* Tuples of A whose elements all satisfy [dom_mem]: a mapping with that
+   domain must honour exactly these. *)
+let tuples_within a dom_mem =
+  List.rev
+    (Structure.fold_tuples
+       (fun name t acc ->
+         if Array.for_all dom_mem t then (name, t) :: acc else acc)
+       a [])
+
+let run ~k a b =
+  if k < 1 then invalid_arg "Game: k must be positive";
+  let n = Structure.size a and m = Structure.size b in
+  if n = 0 then ([ [] ], { initial_configs = 1; removed = 0 })
+  else if m = 0 then ([], { initial_configs = 0; removed = 0 })
+  else begin
+    let family : (config, unit) Hashtbl.t = Hashtbl.create 1024 in
+    (* Generate all partial homomorphisms with |dom| <= k. *)
+    let generate dom =
+      let dom = Array.of_list dom in
+      let d = Array.length dom in
+      let constraints = tuples_within a (fun x -> Array.exists (( = ) x) dom) in
+      let image = Array.make (max d 1) 0 in
+      let lookup x =
+        let rec find j = if dom.(j) = x then image.(j) else find (j + 1) in
+        find 0
+      in
+      let rec assign i =
+        if i = d then begin
+          let ok =
+            List.for_all
+              (fun (name, t) ->
+                let img = Array.map lookup t in
+                match Structure.relation b name with
+                | r -> Relation.mem r img
+                | exception Not_found -> false)
+              constraints
+          in
+          if ok then begin
+            let assoc = Array.to_list (Array.mapi (fun j x -> (x, image.(j))) dom) in
+            Hashtbl.replace family assoc ()
+          end
+        end
+        else
+          for v = 0 to m - 1 do
+            image.(i) <- v;
+            assign (i + 1)
+          done
+      in
+      assign 0
+    in
+    List.iter generate (subsets_up_to n k);
+    let initial_configs = Hashtbl.length family in
+    (* Consistency loop: drop configurations without the forth property,
+       cascading to supersets (restriction-closure) and rechecking
+       restrictions whose forth witnesses vanished. *)
+    let removed = ref 0 in
+    let queue = Queue.create () in
+    let remove config =
+      if Hashtbl.mem family config then begin
+        Hashtbl.remove family config;
+        incr removed;
+        Queue.add config queue
+      end
+    in
+    let has_forth config =
+      List.length config >= k
+      ||
+      let dom = domain config in
+      let ok = ref true in
+      for x = 0 to n - 1 do
+        if !ok && not (List.mem x dom) then begin
+          let extendable = ref false in
+          for v = 0 to m - 1 do
+            if (not !extendable) && Hashtbl.mem family (insert (x, v) config) then
+              extendable := true
+          done;
+          if not !extendable then ok := false
+        end
+      done;
+      !ok
+    in
+    let initial_bad =
+      Hashtbl.fold
+        (fun config () acc -> if has_forth config then acc else config :: acc)
+        family []
+    in
+    List.iter remove initial_bad;
+    while not (Queue.is_empty queue) do
+      let config = Queue.pop queue in
+      if List.length config < k then begin
+        let dom = domain config in
+        for x = 0 to n - 1 do
+          if not (List.mem x dom) then
+            for v = 0 to m - 1 do
+              remove (insert (x, v) config)
+            done
+        done
+      end;
+      List.iter
+        (fun (x, _) ->
+          let smaller = remove_at x config in
+          if Hashtbl.mem family smaller && not (has_forth smaller) then remove smaller)
+        config
+    done;
+    let surviving = Hashtbl.fold (fun config () acc -> config :: acc) family [] in
+    (surviving, { initial_configs; removed = !removed })
+  end
+
+let winning_family ~k a b = fst (run ~k a b)
+
+let duplicator_wins_with_stats ~k a b =
+  let family, stats = run ~k a b in
+  (family <> [], stats)
+
+let duplicator_wins ~k a b = fst (duplicator_wins_with_stats ~k a b)
+
+let spoiler_wins ~k a b = not (duplicator_wins ~k a b)
+
+let solve ~k a b = if spoiler_wins ~k a b then Some false else None
+
+type strategy = {
+  k : int;
+  family_table : (config, unit) Hashtbl.t;
+}
+
+let strategy ~k a b =
+  match winning_family ~k a b with
+  | [] -> None
+  | family ->
+    let table = Hashtbl.create (List.length family) in
+    List.iter (fun config -> Hashtbl.replace table config ()) family;
+    Some { k; family_table = table }
+
+let member s config = Hashtbl.mem s.family_table config
+
+let respond s config a =
+  if
+    List.length config >= s.k
+    || List.mem_assoc a config
+    || not (member s config)
+  then None
+  else begin
+    (* Any answer must itself occur in a stored configuration, so probing up
+       to the largest stored value suffices; the forth property guarantees a
+       hit for genuine family positions. *)
+    let limit =
+      Hashtbl.fold
+        (fun cfg () acc -> List.fold_left (fun acc (_, v) -> max acc v) acc cfg)
+        s.family_table 0
+    in
+    let rec probe b =
+      if b > limit then None
+      else if Hashtbl.mem s.family_table (insert (a, b) config) then Some b
+      else probe (b + 1)
+    in
+    probe 0
+  end

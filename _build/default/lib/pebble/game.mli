@@ -1,0 +1,63 @@
+open Relational
+
+(** The existential k-pebble game (Section 4).
+
+    The Duplicator wins the game on [(A, B)] iff there is a nonempty family
+    of partial homomorphisms from [A] to [B], closed under restrictions,
+    with the forth property up to [k].  [winning_family] computes the
+    largest such family by starting from all partial homomorphisms with
+    domains of at most [k] elements and pruning configurations that lack an
+    extension, cascading removals to supersets; this is the strong
+    k-consistency procedure, and it runs in time [n^{O(k)}] (Theorem 4.7).
+
+    Consequences implemented here:
+    - if a homomorphism [A -> B] exists, the Duplicator wins (the converse
+      can fail: the game is a polynomial relaxation);
+    - when [not CSP(B)] is expressible in k-Datalog, the game is exact
+      (Theorem 4.8), which yields the uniform tractability of Theorem 4.9. *)
+
+type config = (int * int) list
+(** A game position: pairs [(a, b)] of pebbled elements, sorted by [a],
+    with distinct first components. *)
+
+val winning_family : k:int -> Structure.t -> Structure.t -> config list
+(** The largest restriction-closed family with the forth property; empty
+    when the Spoiler wins.  @raise Invalid_argument when [k < 1]. *)
+
+val duplicator_wins : k:int -> Structure.t -> Structure.t -> bool
+
+val spoiler_wins : k:int -> Structure.t -> Structure.t -> bool
+
+type stats = {
+  initial_configs : int;  (** Partial homomorphisms generated. *)
+  removed : int;  (** Configurations pruned by the consistency loop. *)
+}
+
+val duplicator_wins_with_stats : k:int -> Structure.t -> Structure.t -> bool * stats
+
+val solve : k:int -> Structure.t -> Structure.t -> bool option
+(** One-sided decision for [hom(A, B)]: [Some false] when the Spoiler wins
+    (definitely no homomorphism); [None] when the Duplicator wins (a
+    homomorphism is possible but not guaranteed unless [not CSP(B)] is
+    k-Datalog-expressible). *)
+
+(** {1 Playing the game}
+
+    A winning Duplicator strategy is exactly the winning family: respond to
+    any Spoiler pebble placement by looking up an extension that stays in
+    the family. *)
+
+type strategy
+
+val strategy : k:int -> Structure.t -> Structure.t -> strategy option
+(** The Duplicator's strategy, or [None] when the Spoiler wins. *)
+
+val respond : strategy -> config -> int -> int option
+(** [respond s config a]: the Duplicator's answer to the Spoiler pebbling
+    element [a] of the source, from a position in the family with fewer
+    than [k] pebbles.  [None] when the position is not in the family, is
+    already full, or already pebbles [a] — never when the position is a
+    genuine reachable one. *)
+
+val member : strategy -> config -> bool
+(** Is a configuration part of the winning family? *)

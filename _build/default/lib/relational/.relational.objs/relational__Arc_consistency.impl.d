@@ -1,0 +1,1 @@
+lib/relational/arc_consistency.ml: Array Hashtbl List Queue Relation Stack Structure Tuple Vocabulary

@@ -1,0 +1,1 @@
+lib/relational/arc_consistency.mli: Structure

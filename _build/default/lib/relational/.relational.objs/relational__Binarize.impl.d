@@ -1,0 +1,1 @@
+lib/relational/binarize.ml: Array Fun Hashtbl List Printf Structure Vocabulary

@@ -1,0 +1,1 @@
+lib/relational/binarize.mli: Structure Tuple Vocabulary

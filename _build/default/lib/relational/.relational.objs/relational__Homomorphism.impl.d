@@ -1,0 +1,1 @@
+lib/relational/homomorphism.ml: Arc_consistency Array Fun Hashtbl List Relation Structure Tuple

@@ -1,0 +1,1 @@
+lib/relational/structure.ml: Array Format Fun Hashtbl List Map Printf Relation String Tuple Vocabulary

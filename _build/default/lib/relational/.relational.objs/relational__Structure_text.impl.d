@@ -1,0 +1,1 @@
+lib/relational/structure_text.ml: Array Buffer Format Hashtbl List Printf String Structure Vocabulary

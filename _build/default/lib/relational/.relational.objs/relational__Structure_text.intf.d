@@ -1,0 +1,1 @@
+lib/relational/structure_text.mli: Format Structure

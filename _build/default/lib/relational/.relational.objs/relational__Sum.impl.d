@@ -1,0 +1,1 @@
+lib/relational/sum.ml: Array Fun List Structure Vocabulary

@@ -1,0 +1,1 @@
+lib/relational/sum.mli: Structure Vocabulary

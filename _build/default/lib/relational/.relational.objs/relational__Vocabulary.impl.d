@@ -1,0 +1,1 @@
+lib/relational/vocabulary.ml: Format Hashtbl List

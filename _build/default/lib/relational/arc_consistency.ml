@@ -1,0 +1,177 @@
+type t = {
+  a : Structure.t;
+  b : Structure.t;
+  n : int;
+  m : int;
+  dom : bool array array;
+  count : int array;
+  occ : (string * Tuple.t) list array;
+  brels : (string, Tuple.t array) Hashtbl.t;
+  trail : (int * int) Stack.t;
+  marks : int Stack.t;
+  pending : int Queue.t;
+  in_pending : bool array;
+  mutable removals : int;
+}
+
+let create a b =
+  let n = Structure.size a and m = Structure.size b in
+  let occ = Array.make (max n 1) [] in
+  Structure.iter_tuples
+    (fun name t ->
+      List.iter (fun x -> occ.(x) <- (name, t) :: occ.(x)) (Tuple.elements t))
+    a;
+  let brels = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _) ->
+      let tuples =
+        match Structure.relation b name with
+        | r -> Array.of_list (Relation.elements r)
+        | exception Not_found -> [||]
+      in
+      Hashtbl.replace brels name tuples)
+    (Vocabulary.symbols (Structure.vocabulary a));
+  {
+    a;
+    b;
+    n;
+    m;
+    dom = Array.init (max n 1) (fun _ -> Array.make (max m 1) (m > 0));
+    count = Array.make (max n 1) m;
+    occ;
+    brels;
+    trail = Stack.create ();
+    marks = Stack.create ();
+    pending = Queue.create ();
+    in_pending = Array.make (max n 1) false;
+    removals = 0;
+  }
+
+let source ctx = ctx.a
+
+let target ctx = ctx.b
+
+let dom_mem ctx x v = ctx.dom.(x).(v)
+
+let dom_size ctx x = ctx.count.(x)
+
+let dom_values ctx x =
+  let acc = ref [] in
+  for v = ctx.m - 1 downto 0 do
+    if ctx.dom.(x).(v) then acc := v :: !acc
+  done;
+  !acc
+
+let schedule ctx x =
+  if not ctx.in_pending.(x) then begin
+    ctx.in_pending.(x) <- true;
+    Queue.add x ctx.pending
+  end
+
+let remove_value ctx x v =
+  if ctx.dom.(x).(v) then begin
+    ctx.dom.(x).(v) <- false;
+    ctx.count.(x) <- ctx.count.(x) - 1;
+    ctx.removals <- ctx.removals + 1;
+    Stack.push (x, v) ctx.trail;
+    schedule ctx x;
+    ctx.count.(x) > 0
+  end
+  else true
+
+(* Revise one tuple-constraint: recompute, per position, the set of target
+   values supported by some target tuple compatible with all current domains,
+   and prune unsupported values. *)
+let revise ctx name (t : Tuple.t) =
+  let arity = Array.length t in
+  let tuples = try Hashtbl.find ctx.brels name with Not_found -> [||] in
+  let supp = Array.init arity (fun _ -> Array.make (max ctx.m 1) false) in
+  Array.iter
+    (fun (tt : Tuple.t) ->
+      let ok = ref true in
+      (try
+         for j = 0 to arity - 1 do
+           if not ctx.dom.(t.(j)).(tt.(j)) then begin
+             ok := false;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !ok then
+        for j = 0 to arity - 1 do
+          supp.(j).(tt.(j)) <- true
+        done)
+    tuples;
+  let alive = ref true in
+  for j = 0 to arity - 1 do
+    if !alive then
+      for v = 0 to ctx.m - 1 do
+        if !alive && ctx.dom.(t.(j)).(v) && not supp.(j).(v) then
+          if not (remove_value ctx t.(j) v) then alive := false
+      done
+  done;
+  !alive
+
+let propagate ctx =
+  let alive = ref true in
+  while !alive && not (Queue.is_empty ctx.pending) do
+    let x = Queue.pop ctx.pending in
+    ctx.in_pending.(x) <- false;
+    List.iter (fun (name, t) -> if !alive then alive := revise ctx name t) ctx.occ.(x)
+  done;
+  if not !alive then begin
+    (* Drain so a later propagate starts clean after undo. *)
+    Queue.iter (fun x -> ctx.in_pending.(x) <- false) ctx.pending;
+    Queue.clear ctx.pending
+  end;
+  !alive
+
+let establish ctx =
+  if ctx.n = 0 then true
+  else if ctx.m = 0 then false
+  else begin
+    for x = 0 to ctx.n - 1 do
+      schedule ctx x
+    done;
+    propagate ctx
+  end
+
+let assign ctx x v =
+  if not ctx.dom.(x).(v) then invalid_arg "Arc_consistency.assign: value not in domain";
+  let alive = ref true in
+  for w = 0 to ctx.m - 1 do
+    if !alive && w <> v && ctx.dom.(x).(w) then
+      if not (remove_value ctx x w) then alive := false
+  done;
+  !alive && propagate ctx
+
+let push ctx = Stack.push (Stack.length ctx.trail) ctx.marks
+
+let pop ctx =
+  match Stack.pop_opt ctx.marks with
+  | None -> invalid_arg "Arc_consistency.pop: no checkpoint"
+  | Some mark ->
+    while Stack.length ctx.trail > mark do
+      let x, v = Stack.pop ctx.trail in
+      ctx.dom.(x).(v) <- true;
+      ctx.count.(x) <- ctx.count.(x) + 1
+    done
+
+let all_singleton ctx =
+  let ok = ref true in
+  for x = 0 to ctx.n - 1 do
+    if ctx.count.(x) <> 1 then ok := false
+  done;
+  !ok
+
+let solution ctx =
+  if not (all_singleton ctx) then
+    invalid_arg "Arc_consistency.solution: domains not all singleton";
+  Array.init ctx.n (fun x ->
+      let v = ref (-1) in
+      for w = 0 to ctx.m - 1 do
+        if ctx.dom.(x).(w) then v := w
+      done;
+      !v)
+
+let removal_count ctx = ctx.removals

@@ -1,0 +1,205 @@
+type mapping = int array
+
+type stats = { nodes : int }
+
+let is_homomorphism a b (h : mapping) =
+  Array.length h = Structure.size a
+  && Array.for_all (fun v -> v >= 0 && v < Structure.size b) h
+  &&
+  let ok = ref true in
+  Structure.iter_tuples
+    (fun name t ->
+      if !ok then
+        let image = Array.map (fun x -> h.(x)) t in
+        let holds =
+          match Structure.relation b name with
+          | r -> Relation.mem r image
+          | exception Not_found -> false
+        in
+        if not holds then ok := false)
+    a;
+  !ok
+
+(* Generic MAC backtracking search.  [on_solution] receives each solution and
+   returns [true] to continue enumerating. *)
+let search ?(ordering = `Mrv) ?(restrict = fun _ _ -> true) a b ~on_solution =
+  let n = Structure.size a and m = Structure.size b in
+  let nodes = ref 0 in
+  if n = 0 then begin
+    ignore (on_solution [||]);
+    !nodes
+  end
+  else if m = 0 then !nodes
+  else begin
+    let ctx = Arc_consistency.create a b in
+    let alive = ref true in
+    for x = 0 to n - 1 do
+      for v = 0 to m - 1 do
+        if !alive && not (restrict x v) then
+          if not (Arc_consistency.remove_value ctx x v) then alive := false
+      done
+    done;
+    if !alive && Arc_consistency.establish ctx then begin
+      let decided = Array.make n false in
+      (* Variable choice: minimum-remaining-values, or plain input order
+         (kept for the ablation benchmarks). *)
+      let pick () =
+        match ordering with
+        | `Input ->
+          let first = ref (-1) in
+          for x = n - 1 downto 0 do
+            if not decided.(x) then first := x
+          done;
+          !first
+        | `Mrv ->
+          let best = ref (-1) and best_size = ref max_int in
+          for x = 0 to n - 1 do
+            if not decided.(x) && Arc_consistency.dom_size ctx x < !best_size then begin
+              best := x;
+              best_size := Arc_consistency.dom_size ctx x
+            end
+          done;
+          !best
+      in
+      let rec solve () =
+        let x = pick () in
+        if x < 0 then begin
+          let h = Arc_consistency.solution ctx in
+          (* MAC with all-singleton domains implies consistency; keep the
+             explicit check as a safety net. *)
+          assert (is_homomorphism a b h);
+          on_solution h
+        end
+        else begin
+          decided.(x) <- true;
+          let continue_ = ref true in
+          List.iter
+            (fun v ->
+              if !continue_ && Arc_consistency.dom_mem ctx x v then begin
+                incr nodes;
+                Arc_consistency.push ctx;
+                if Arc_consistency.assign ctx x v then
+                  if not (solve ()) then continue_ := false;
+                Arc_consistency.pop ctx
+              end)
+            (Arc_consistency.dom_values ctx x);
+          decided.(x) <- false;
+          !continue_
+        end
+      in
+      ignore (solve ())
+    end;
+    !nodes
+  end
+
+let find_with_stats ?ordering ?restrict a b =
+  let result = ref None in
+  let nodes =
+    search ?ordering ?restrict a b ~on_solution:(fun h ->
+        result := Some (Array.copy h);
+        false)
+  in
+  (!result, { nodes })
+
+let find ?ordering ?restrict a b = fst (find_with_stats ?ordering ?restrict a b)
+
+let exists a b = find a b <> None
+
+let enumerate ?limit a b =
+  let acc = ref [] and seen = ref 0 in
+  let cap = match limit with Some l -> l | None -> max_int in
+  if cap > 0 then
+    ignore
+      (search a b ~on_solution:(fun h ->
+           acc := Array.copy h :: !acc;
+           incr seen;
+           !seen < cap));
+  List.rev !acc
+
+let count a b =
+  let c = ref 0 in
+  ignore
+    (search a b ~on_solution:(fun _ ->
+         incr c;
+         true));
+  !c
+
+let is_injective (h : mapping) =
+  let seen = Hashtbl.create (Array.length h) in
+  Array.for_all
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.add seen v ();
+        true
+      end)
+    h
+
+let is_surjective ~target_size (h : mapping) =
+  let hit = Array.make (max target_size 1) false in
+  Array.iter (fun v -> hit.(v) <- true) h;
+  let ok = ref true in
+  for v = 0 to target_size - 1 do
+    if not hit.(v) then ok := false
+  done;
+  !ok
+
+let image (h : mapping) = Tuple.elements h
+
+let compose (g : mapping) (h : mapping) = Array.map (fun v -> g.(v)) h
+
+let identity n = Array.init n Fun.id
+
+let hom_equivalent a b = exists a b && exists b a
+
+let core_with_map a =
+  let rec shrink current retraction =
+    let n = Structure.size current in
+    (* Look for an endomorphism avoiding some element v of the universe. *)
+    let rec attempt v =
+      if v >= n then None
+      else
+        match find ~restrict:(fun _ y -> y <> v) current current with
+        | Some h -> Some h
+        | None -> attempt (v + 1)
+    in
+    match attempt 0 with
+    | None -> (current, retraction)
+    | Some h ->
+      let img = image h in
+      let renum = Hashtbl.create (List.length img) in
+      List.iteri (fun i x -> Hashtbl.add renum x i) img;
+      let smaller = Structure.induced current img in
+      let step = Array.map (fun v -> Hashtbl.find renum v) h in
+      shrink smaller (compose step retraction)
+  in
+  shrink a (identity (Structure.size a))
+
+let core a = fst (core_with_map a)
+
+let inverse_mapping ~target_size (h : mapping) =
+  let inv = Array.make target_size (-1) in
+  Array.iteri (fun x v -> inv.(v) <- x) h;
+  inv
+
+let is_isomorphism a b h =
+  Structure.size a = Structure.size b
+  && is_injective h
+  && is_homomorphism a b h
+  && is_homomorphism b a (inverse_mapping ~target_size:(Structure.size b) h)
+
+let find_isomorphism a b =
+  if Structure.size a <> Structure.size b then None
+  else begin
+    let result = ref None in
+    ignore
+      (search a b ~on_solution:(fun h ->
+           if is_isomorphism a b h then begin
+             result := Some (Array.copy h);
+             false
+           end
+           else true));
+    !result
+  end
+
+let isomorphic a b = find_isomorphism a b <> None

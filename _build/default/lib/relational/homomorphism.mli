@@ -1,0 +1,76 @@
+(** Homomorphisms between finite relational structures.
+
+    A homomorphism [h : A -> B] is given as an [int array] of length
+    [Structure.size A] whose entries are elements of [B]'s universe, such
+    that every tuple of every relation of [A] is mapped into the
+    corresponding relation of [B].
+
+    [find]/[exists] implement the general (NP-complete) search: backtracking
+    with minimum-remaining-values variable ordering, maintaining generalized
+    arc consistency (MAC).  This is the paper's uniform baseline against
+    which every tractable special case is compared. *)
+
+type mapping = int array
+
+type stats = { nodes : int (** search-tree nodes explored *) }
+
+val is_homomorphism : Structure.t -> Structure.t -> mapping -> bool
+
+val find :
+  ?ordering:[ `Mrv | `Input ] ->
+  ?restrict:(int -> int -> bool) ->
+  Structure.t ->
+  Structure.t ->
+  mapping option
+(** First homomorphism found, if any.  [restrict x v] (default: always true)
+    prunes target candidate [v] for source element [x] up front — used, e.g.,
+    to search for non-surjective endomorphisms.  [ordering] selects the
+    branching-variable heuristic: minimum-remaining-values (default) or
+    plain input order (for ablations). *)
+
+val find_with_stats :
+  ?ordering:[ `Mrv | `Input ] ->
+  ?restrict:(int -> int -> bool) ->
+  Structure.t ->
+  Structure.t ->
+  mapping option * stats
+
+val exists : Structure.t -> Structure.t -> bool
+
+val enumerate : ?limit:int -> Structure.t -> Structure.t -> mapping list
+(** All homomorphisms (up to [limit] when given), in no specified order. *)
+
+val count : Structure.t -> Structure.t -> int
+
+val is_injective : mapping -> bool
+
+val is_surjective : target_size:int -> mapping -> bool
+
+val image : mapping -> int list
+(** Distinct values, in first-occurrence order. *)
+
+val compose : mapping -> mapping -> mapping
+(** [compose g h] is [g ∘ h] (apply [h] first). *)
+
+val identity : int -> mapping
+
+val hom_equivalent : Structure.t -> Structure.t -> bool
+(** Homomorphisms exist in both directions. *)
+
+val core : Structure.t -> Structure.t
+(** The core: the smallest retract, unique up to isomorphism.  Computed by
+    repeatedly finding non-surjective endomorphisms. *)
+
+val core_with_map : Structure.t -> Structure.t * mapping
+(** The core together with the retraction from the original universe onto
+    the core's (renumbered) universe. *)
+
+val is_isomorphism : Structure.t -> Structure.t -> mapping -> bool
+(** A bijective homomorphism whose inverse is also a homomorphism. *)
+
+val find_isomorphism : Structure.t -> Structure.t -> mapping option
+(** First isomorphism found (enumerating homomorphisms and filtering);
+    intended for the small structures where isomorphism matters here, such
+    as cores. *)
+
+val isomorphic : Structure.t -> Structure.t -> bool

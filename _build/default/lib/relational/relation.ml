@@ -1,0 +1,89 @@
+module Tuple_set = Set.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+type t = { arity : int; tuples : Tuple_set.t }
+
+let empty arity =
+  if arity < 0 then invalid_arg "Relation.empty: negative arity";
+  { arity; tuples = Tuple_set.empty }
+
+let check_arity r t =
+  if Array.length t <> r.arity then
+    invalid_arg
+      (Printf.sprintf "Relation: tuple of arity %d in relation of arity %d"
+         (Array.length t) r.arity)
+
+let add r t =
+  check_arity r t;
+  { r with tuples = Tuple_set.add t r.tuples }
+
+let of_list arity tuples = List.fold_left add (empty arity) tuples
+
+let arity r = r.arity
+
+let cardinal r = Tuple_set.cardinal r.tuples
+
+let is_empty r = Tuple_set.is_empty r.tuples
+
+let mem r t = Tuple_set.mem t r.tuples
+
+let remove r t = { r with tuples = Tuple_set.remove t r.tuples }
+
+let same_arity op r s =
+  if r.arity <> s.arity then invalid_arg ("Relation." ^ op ^ ": arity mismatch")
+
+let union r s =
+  same_arity "union" r s;
+  { r with tuples = Tuple_set.union r.tuples s.tuples }
+
+let inter r s =
+  same_arity "inter" r s;
+  { r with tuples = Tuple_set.inter r.tuples s.tuples }
+
+let diff r s =
+  same_arity "diff" r s;
+  { r with tuples = Tuple_set.diff r.tuples s.tuples }
+
+let subset r s = r.arity = s.arity && Tuple_set.subset r.tuples s.tuples
+
+let equal r s = r.arity = s.arity && Tuple_set.equal r.tuples s.tuples
+
+let compare r s =
+  let c = Int.compare r.arity s.arity in
+  if c <> 0 then c else Tuple_set.compare r.tuples s.tuples
+
+let iter f r = Tuple_set.iter f r.tuples
+
+let fold f r init = Tuple_set.fold f r.tuples init
+
+let for_all p r = Tuple_set.for_all p r.tuples
+
+let exists p r = Tuple_set.exists p r.tuples
+
+let filter p r = { r with tuples = Tuple_set.filter p r.tuples }
+
+let map f r =
+  fold
+    (fun t acc ->
+      let t' = f t in
+      if Array.length t' <> r.arity then
+        invalid_arg "Relation.map: transformer changed arity";
+      add acc t')
+    r (empty r.arity)
+
+let elements r = Tuple_set.elements r.tuples
+
+let choose r = Tuple_set.min_elt_opt r.tuples
+
+let active_domain r =
+  let seen = Hashtbl.create 16 in
+  iter (fun t -> Array.iter (fun x -> Hashtbl.replace seen x ()) t) r;
+  List.sort Int.compare (Hashtbl.fold (fun x () acc -> x :: acc) seen [])
+
+let pp ppf r =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Tuple.pp)
+    (elements r)

@@ -1,0 +1,61 @@
+(** Finite relations: sets of tuples of a fixed arity. *)
+
+type t
+
+val empty : int -> t
+(** [empty arity] is the empty relation of the given arity. *)
+
+val of_list : int -> Tuple.t list -> t
+(** @raise Invalid_argument if a tuple has the wrong arity. *)
+
+val arity : t -> int
+
+val cardinal : t -> int
+(** Number of tuples. *)
+
+val is_empty : t -> bool
+
+val mem : t -> Tuple.t -> bool
+
+val add : t -> Tuple.t -> t
+(** @raise Invalid_argument on arity mismatch. *)
+
+val remove : t -> Tuple.t -> t
+
+val union : t -> t -> t
+(** @raise Invalid_argument on arity mismatch. *)
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val for_all : (Tuple.t -> bool) -> t -> bool
+
+val exists : (Tuple.t -> bool) -> t -> bool
+
+val filter : (Tuple.t -> bool) -> t -> t
+
+val map : (Tuple.t -> Tuple.t) -> t -> t
+(** Image of the relation under a tuple transformer; the transformer must
+    preserve arity. @raise Invalid_argument otherwise. *)
+
+val elements : t -> Tuple.t list
+(** Tuples in increasing {!Tuple.compare} order. *)
+
+val choose : t -> Tuple.t option
+(** Some tuple, or [None] when empty. *)
+
+val active_domain : t -> int list
+(** Sorted list of distinct elements occurring in some tuple. *)
+
+val pp : Format.formatter -> t -> unit

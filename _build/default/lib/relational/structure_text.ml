@@ -1,0 +1,88 @@
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let tokens_of_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let int_of token what =
+  match int_of_string_opt token with
+  | Some v -> v
+  | None -> fail "expected %s, got %S" what token
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let parsed = List.filter_map (fun l ->
+      match tokens_of_line l with [] -> None | ts -> Some ts) lines
+  in
+  match parsed with
+  | [] -> fail "empty input (expected a 'size N' line)"
+  | first :: rest ->
+    let size =
+      match first with
+      | [ "size"; n ] -> int_of n "the universe size"
+      | _ -> fail "the first line must be 'size N'"
+    in
+    let decls, facts =
+      List.partition (fun ts -> match ts with "rel" :: _ -> true | _ -> false) rest
+    in
+    let arities = Hashtbl.create 8 in
+    let declaration_order = ref [] in
+    let declare name arity =
+      match Hashtbl.find_opt arities name with
+      | Some a when a <> arity -> fail "relation %s used with arities %d and %d" name a arity
+      | Some _ -> ()
+      | None ->
+        Hashtbl.replace arities name arity;
+        declaration_order := name :: !declaration_order
+    in
+    List.iter
+      (fun ts ->
+        match ts with
+        | [ "rel"; name; arity ] -> declare name (int_of arity "an arity")
+        | _ -> fail "malformed rel declaration")
+      decls;
+    let parsed_facts =
+      List.map
+        (fun ts ->
+          match ts with
+          | name :: args ->
+            let tuple = Array.of_list (List.map (fun a -> int_of a "an element") args) in
+            declare name (Array.length tuple);
+            (name, tuple)
+          | [] -> assert false)
+        facts
+    in
+    let vocab =
+      Vocabulary.create
+        (List.rev_map (fun name -> (name, Hashtbl.find arities name)) !declaration_order)
+    in
+    List.fold_left
+      (fun acc (name, tuple) ->
+        match Structure.add_tuple acc name tuple with
+        | s -> s
+        | exception Invalid_argument msg -> fail "%s" msg)
+      (Structure.create vocab ~size) parsed_facts
+
+let print a =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (Printf.sprintf "size %d\n" (Structure.size a));
+  List.iter
+    (fun (name, arity) -> Buffer.add_string buffer (Printf.sprintf "rel %s %d\n" name arity))
+    (Vocabulary.symbols (Structure.vocabulary a));
+  Structure.iter_tuples
+    (fun name t ->
+      Buffer.add_string buffer name;
+      Array.iter (fun x -> Buffer.add_string buffer (Printf.sprintf " %d" x)) t;
+      Buffer.add_char buffer '\n')
+    a;
+  Buffer.contents buffer
+
+let pp ppf a = Format.pp_print_string ppf (print a)

@@ -1,0 +1,41 @@
+let left_name r = r ^ "1"
+
+let right_name r = r ^ "2"
+
+let d1 = "D1"
+
+let d2 = "D2"
+
+let vocabulary vocab =
+  Vocabulary.create
+    ([ (d1, 1); (d2, 1) ]
+    @ List.concat_map
+        (fun (name, arity) -> [ (left_name name, arity); (right_name name, arity) ])
+        (Vocabulary.symbols vocab))
+
+let encode a b =
+  if not (Vocabulary.equal (Structure.vocabulary a) (Structure.vocabulary b)) then
+    invalid_arg "Sum.encode: vocabulary mismatch";
+  let na = Structure.size a in
+  let base =
+    Structure.create (vocabulary (Structure.vocabulary a)) ~size:(na + Structure.size b)
+  in
+  let with_d1 =
+    List.fold_left (fun acc i -> Structure.add_tuple acc d1 [| i |]) base
+      (List.init na Fun.id)
+  in
+  let with_d2 =
+    List.fold_left
+      (fun acc i -> Structure.add_tuple acc d2 [| na + i |])
+      with_d1
+      (List.init (Structure.size b) Fun.id)
+  in
+  let with_a =
+    Structure.fold_tuples
+      (fun name t acc -> Structure.add_tuple acc (left_name name) t)
+      a with_d2
+  in
+  Structure.fold_tuples
+    (fun name t acc ->
+      Structure.add_tuple acc (right_name name) (Array.map (fun x -> x + na) t))
+    b with_a

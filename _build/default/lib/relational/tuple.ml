@@ -1,0 +1,44 @@
+type t = int array
+
+let compare (s : t) (t : t) =
+  let ls = Array.length s and lt = Array.length t in
+  if ls <> lt then Int.compare ls lt
+  else
+    let rec loop i =
+      if i >= ls then 0
+      else
+        let c = Int.compare s.(i) t.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let equal (s : t) (t : t) = compare s t = 0
+
+let hash (t : t) = Array.fold_left (fun acc x -> (acc * 31) + x + 1) (Array.length t) t
+
+let arity = Array.length
+
+let map = Array.map
+
+let elements t =
+  let seen = Hashtbl.create (Array.length t) in
+  let acc = ref [] in
+  Array.iter
+    (fun x ->
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.add seen x ();
+        acc := x :: !acc
+      end)
+    t;
+  List.rev !acc
+
+let max_element t = Array.fold_left max (-1) t
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (Array.to_list t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,29 @@
+(** Tuples of universe elements.
+
+    A tuple is an immutable array of non-negative integers denoting elements
+    of a structure's universe.  All functions treat the array as immutable;
+    callers must not mutate a tuple after handing it to this module. *)
+
+type t = int array
+
+val compare : t -> t -> int
+(** Lexicographic comparison (shorter tuples first). *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val arity : t -> int
+
+val map : (int -> int) -> t -> t
+
+val elements : t -> int list
+(** Distinct elements occurring in the tuple, in first-occurrence order. *)
+
+val max_element : t -> int
+(** Largest element of the tuple; [-1] for the empty tuple. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [(a1, ..., an)]. *)
+
+val to_string : t -> string

@@ -1,0 +1,63 @@
+type t = { symbols : (string * int) list; index : (string, int) Hashtbl.t }
+
+let build symbols =
+  let index = Hashtbl.create (List.length symbols) in
+  List.iter
+    (fun (name, arity) ->
+      if arity < 0 then invalid_arg ("Vocabulary.create: negative arity for " ^ name);
+      if Hashtbl.mem index name then
+        invalid_arg ("Vocabulary.create: duplicate symbol " ^ name);
+      Hashtbl.add index name arity)
+    symbols;
+  { symbols; index }
+
+let create symbols = build symbols
+
+let empty = build []
+
+let symbols v = v.symbols
+
+let names v = List.map fst v.symbols
+
+let arity v name = Hashtbl.find v.index name
+
+let mem v name = Hashtbl.mem v.index name
+
+let size v = List.length v.symbols
+
+let max_arity v = List.fold_left (fun acc (_, a) -> max acc a) 0 v.symbols
+
+let add v name arity =
+  if mem v name then invalid_arg ("Vocabulary.add: duplicate symbol " ^ name);
+  build (v.symbols @ [ (name, arity) ])
+
+let union v w =
+  let extra =
+    List.filter
+      (fun (name, arity) ->
+        match Hashtbl.find_opt v.index name with
+        | None -> true
+        | Some a ->
+          if a <> arity then
+            invalid_arg ("Vocabulary.union: arity conflict on " ^ name)
+          else false)
+      w.symbols
+  in
+  build (v.symbols @ extra)
+
+let subset v w =
+  List.for_all
+    (fun (name, arity) ->
+      match Hashtbl.find_opt w.index name with
+      | Some a -> a = arity
+      | None -> false)
+    v.symbols
+
+let equal v w = subset v w && subset w v
+
+let pp ppf v =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (name, arity) -> Format.fprintf ppf "%s/%d" name arity))
+    v.symbols

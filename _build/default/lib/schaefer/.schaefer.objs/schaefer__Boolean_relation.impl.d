@@ -1,0 +1,1 @@
+lib/schaefer/boolean_relation.ml: Array Format Fun Int List Relation Relational Set Tuple

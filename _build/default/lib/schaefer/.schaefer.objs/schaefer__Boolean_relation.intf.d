@@ -1,0 +1,1 @@
+lib/schaefer/boolean_relation.mli: Format Relation Relational Tuple

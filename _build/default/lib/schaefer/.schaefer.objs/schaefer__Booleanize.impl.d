@@ -1,0 +1,1 @@
+lib/schaefer/booleanize.ml: Array Homomorphism List Relational Structure Uniform Vocabulary

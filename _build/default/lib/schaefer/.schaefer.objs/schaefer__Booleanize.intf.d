@@ -1,0 +1,1 @@
+lib/schaefer/booleanize.mli: Homomorphism Relational Structure

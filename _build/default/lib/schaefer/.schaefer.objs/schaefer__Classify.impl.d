@@ -1,0 +1,1 @@
+lib/schaefer/classify.ml: Boolean_relation Format List Relational Structure Vocabulary

@@ -1,0 +1,1 @@
+lib/schaefer/classify.mli: Boolean_relation Format Relational Structure

@@ -1,0 +1,1 @@
+lib/schaefer/cnf.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/schaefer/cnf.mli: Format

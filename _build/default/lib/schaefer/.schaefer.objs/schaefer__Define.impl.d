@@ -1,0 +1,1 @@
+lib/schaefer/define.ml: Array Boolean_relation Classify Cnf Gf2 Hashtbl List Printf

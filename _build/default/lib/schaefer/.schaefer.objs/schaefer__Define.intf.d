@@ -1,0 +1,1 @@
+lib/schaefer/define.mli: Boolean_relation Classify Cnf Gf2

@@ -1,0 +1,1 @@
+lib/schaefer/gf2.mli: Format

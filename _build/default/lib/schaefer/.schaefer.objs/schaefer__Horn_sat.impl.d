@@ -1,0 +1,1 @@
+lib/schaefer/horn_sat.ml: Array Cnf Int List Queue

@@ -1,0 +1,1 @@
+lib/schaefer/horn_sat.mli: Cnf

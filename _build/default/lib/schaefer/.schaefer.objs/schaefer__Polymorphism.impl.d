@@ -1,0 +1,1 @@
+lib/schaefer/polymorphism.ml: Array Boolean_relation Classify Fun List Printf

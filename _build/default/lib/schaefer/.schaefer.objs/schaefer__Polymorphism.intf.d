@@ -1,0 +1,1 @@
+lib/schaefer/polymorphism.mli: Boolean_relation Classify Relational

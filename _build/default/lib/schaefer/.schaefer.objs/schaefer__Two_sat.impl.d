@@ -1,0 +1,1 @@
+lib/schaefer/two_sat.ml: Array Cnf List Queue Stack

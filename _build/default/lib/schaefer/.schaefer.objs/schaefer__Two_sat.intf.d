@@ -1,0 +1,1 @@
+lib/schaefer/two_sat.mli: Cnf

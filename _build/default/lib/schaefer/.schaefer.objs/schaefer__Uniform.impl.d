@@ -1,0 +1,1 @@
+lib/schaefer/uniform.ml: Array Boolean_relation Classify Cnf Define Gf2 Hashtbl Homomorphism Horn_sat Int List Queue Relation Relational Stack Structure Tuple Two_sat Vocabulary

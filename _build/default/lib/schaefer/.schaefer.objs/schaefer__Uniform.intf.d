@@ -1,0 +1,1 @@
+lib/schaefer/uniform.mli: Classify Define Homomorphism Relational Structure

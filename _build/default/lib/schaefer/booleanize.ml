@@ -1,0 +1,63 @@
+open Relational
+
+let bits_needed n =
+  let rec loop bits capacity = if capacity >= n then bits else loop (bits + 1) (2 * capacity) in
+  loop 1 2
+
+let encode_vocabulary bits vocab =
+  Vocabulary.create
+    (List.map (fun (name, arity) -> (name, arity * bits)) (Vocabulary.symbols vocab))
+
+let encode_target b =
+  let bits = bits_needed (Structure.size b) in
+  let vocab = encode_vocabulary bits (Structure.vocabulary b) in
+  let base = Structure.create vocab ~size:2 in
+  Structure.fold_tuples
+    (fun name t acc ->
+      let k = Array.length t in
+      let bt = Array.init (k * bits) (fun p -> (t.(p / bits) lsr (p mod bits)) land 1) in
+      Structure.add_tuple acc name bt)
+    b base
+
+let encode_source ~bits a =
+  let vocab = encode_vocabulary bits (Structure.vocabulary a) in
+  let base = Structure.create vocab ~size:(Structure.size a * bits) in
+  Structure.fold_tuples
+    (fun name t acc ->
+      let k = Array.length t in
+      let bt = Array.init (k * bits) (fun p -> (t.(p / bits) * bits) + (p mod bits)) in
+      Structure.add_tuple acc name bt)
+    a base
+
+let encode_pair a b =
+  let bits = bits_needed (Structure.size b) in
+  (encode_source ~bits a, encode_target b)
+
+let decode ~bits ~target hb =
+  let n = Array.length hb / bits in
+  Array.init n (fun x ->
+      let v = ref 0 in
+      for j = 0 to bits - 1 do
+        v := !v lor (hb.((x * bits) + j) lsl j)
+      done;
+      if !v < Structure.size target then !v else 0)
+
+type outcome =
+  | Hom of Homomorphism.mapping
+  | No_hom
+  | Not_schaefer of Structure.t
+
+let solve a b =
+  if Structure.size b = 0 then (if Structure.size a = 0 then Hom [||] else No_hom)
+  else begin
+    let bits = bits_needed (Structure.size b) in
+    let ab, bb = encode_pair a b in
+    match Uniform.solve_direct ab bb with
+    | Uniform.Hom hb ->
+      let h = decode ~bits ~target:b hb in
+      if Homomorphism.is_homomorphism a b h then Hom h
+      else
+        invalid_arg "Booleanize.solve: decoded mapping is not a homomorphism"
+    | Uniform.No_hom -> No_hom
+    | Uniform.Not_applicable _ -> Not_schaefer bb
+  end

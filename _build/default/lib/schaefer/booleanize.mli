@@ -1,0 +1,37 @@
+open Relational
+
+(** Booleanization (Lemma 3.5): convert an arbitrary instance [(A, B)] of
+    the homomorphism problem into a Boolean instance [(A_b, B_b)] by binary
+    encoding of [B]'s elements.
+
+    With [n = |B|] and [m = max(1, ceil(log2 n))], every element of [B]
+    becomes an [m]-bit vector and every element of [A] becomes [m] copies;
+    a k-ary relation becomes a km-ary Boolean relation.  Homomorphisms are
+    preserved in both directions. *)
+
+val bits_needed : int -> int
+(** [max 1 (ceil (log2 n))]. *)
+
+val encode_target : Structure.t -> Structure.t
+(** [B_b], over the Boolean universe [{0, 1}]. *)
+
+val encode_source : bits:int -> Structure.t -> Structure.t
+(** [A_b]; element [a] of [A] becomes copies [a*bits .. a*bits + bits - 1]. *)
+
+val encode_pair : Structure.t -> Structure.t -> Structure.t * Structure.t
+(** [(A_b, B_b)] with matching bit width. *)
+
+val decode : bits:int -> target:Structure.t -> Homomorphism.mapping -> Homomorphism.mapping
+(** Recover a homomorphism [A -> B] from one [A_b -> B_b].  Elements whose
+    decoded pattern falls outside [B]'s universe are unconstrained in [A]
+    and are sent to element [0]. *)
+
+type outcome =
+  | Hom of Homomorphism.mapping
+  | No_hom
+  | Not_schaefer of Structure.t
+      (** The Booleanized target, for inspection, when it lands outside
+          Schaefer's tractable classes. *)
+
+val solve : Structure.t -> Structure.t -> outcome
+(** Booleanize, classify, solve with {!Uniform.solve_direct}, decode. *)

@@ -1,0 +1,54 @@
+open Relational
+
+(** Schaefer's classification of Boolean relations and structures
+    (Theorem 3.1).
+
+    A Boolean relation belongs to a tractable Schaefer class exactly when it
+    passes the corresponding closure test:
+    - 0-valid: contains the all-zero tuple;
+    - 1-valid: contains the all-one tuple;
+    - Horn: closed under componentwise AND (Dechter–Pearl);
+    - dual Horn: closed under componentwise OR;
+    - bijunctive: closed under componentwise majority;
+    - affine: closed under componentwise XOR of triples.
+
+    A Boolean structure is a Schaefer structure when some single class
+    contains all of its relations. *)
+
+type schaefer_class =
+  | Zero_valid
+  | One_valid
+  | Horn
+  | Dual_horn
+  | Bijunctive
+  | Affine
+
+val all_classes : schaefer_class list
+
+val class_name : schaefer_class -> string
+
+val pp_class : Format.formatter -> schaefer_class -> unit
+
+val relation_in_class : Boolean_relation.t -> schaefer_class -> bool
+
+val relation_classes : Boolean_relation.t -> schaefer_class list
+(** All classes the relation belongs to, in the order of {!all_classes}. *)
+
+val is_boolean_structure : Structure.t -> bool
+(** Universe of size exactly 2. *)
+
+val boolean_relations : Structure.t -> (string * Boolean_relation.t) list
+(** @raise Invalid_argument if the structure is not Boolean. *)
+
+val structure_classes : Structure.t -> schaefer_class list
+(** Classes containing {e every} relation of the structure.
+    @raise Invalid_argument if the structure is not Boolean. *)
+
+val is_schaefer : Structure.t -> bool
+
+val is_trivial : Structure.t -> bool
+(** In one of the first two (0-valid / 1-valid) classes. *)
+
+val classify : Structure.t -> schaefer_class option
+(** Preferred class for solving: trivial classes first, then bijunctive,
+    Horn, dual Horn, affine.  [None] when the structure is not Schaefer. *)

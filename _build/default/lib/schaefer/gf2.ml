@@ -1,0 +1,129 @@
+type equation = { coeffs : bool array; rhs : bool }
+
+type system = { nvars : int; equations : equation list }
+
+let make_system ~nvars equations =
+  List.iter
+    (fun e ->
+      if Array.length e.coeffs <> nvars then
+        invalid_arg "Gf2.make_system: coefficient length mismatch")
+    equations;
+  { nvars; equations }
+
+let satisfies assignment s =
+  List.for_all
+    (fun e ->
+      let sum = ref false in
+      Array.iteri (fun i c -> if c && assignment.(i) then sum := not !sum) e.coeffs;
+      !sum = e.rhs)
+    s.equations
+
+(* Gaussian elimination on augmented rows; returns the echelon rows and the
+   pivot column of each (the augmented column is [ncols]). *)
+let eliminate ~width rows =
+  let rows = List.map Array.copy rows in
+  let echelon = ref [] in
+  let remaining = ref (List.filter (fun row -> Array.exists Fun.id row) rows) in
+  let col = ref 0 in
+  while !remaining <> [] && !col < width do
+    let c = !col in
+    match List.partition (fun row -> row.(c)) !remaining with
+    | [], _ -> incr col
+    | pivot :: others_with_bit, rest ->
+      let reduce row =
+        if row.(c) then Array.iteri (fun i v -> row.(i) <- row.(i) <> v) pivot
+      in
+      List.iter reduce others_with_bit;
+      List.iter reduce rest;
+      echelon := (c, pivot) :: !echelon;
+      remaining := others_with_bit @ rest;
+      remaining := List.filter (fun row -> Array.exists Fun.id row) !remaining;
+      incr col
+  done;
+  (List.rev !echelon, !remaining)
+
+let solve s =
+  let rows =
+    List.map
+      (fun e -> Array.append e.coeffs [| e.rhs |])
+      s.equations
+  in
+  let echelon, _leftover = eliminate ~width:(s.nvars + 1) rows in
+  (* Rows left over after elimination are all zero; inconsistency shows up
+     only as a pivot in the augmented column. *)
+  if List.exists (fun (c, _) -> c = s.nvars) echelon then None
+  else begin
+    let assignment = Array.make s.nvars false in
+    (* Back-substitute in decreasing pivot order; free variables stay 0. *)
+    List.iter
+      (fun (c, row) ->
+        let sum = ref row.(s.nvars) in
+        for i = c + 1 to s.nvars - 1 do
+          if row.(i) && assignment.(i) then sum := not !sum
+        done;
+        assignment.(c) <- !sum)
+      (List.rev echelon);
+    Some assignment
+  end
+
+let rank rows =
+  match rows with
+  | [] -> 0
+  | first :: _ ->
+    let echelon, _ = eliminate ~width:(Array.length first) rows in
+    List.length echelon
+
+let nullspace_basis ~ncols rows =
+  let echelon, _ = eliminate ~width:ncols rows in
+  let pivot_cols = List.map fst echelon in
+  let is_pivot c = List.mem c pivot_cols in
+  let free_cols = List.filter (fun c -> not (is_pivot c)) (List.init ncols Fun.id) in
+  List.map
+    (fun f ->
+      let v = Array.make ncols false in
+      v.(f) <- true;
+      (* Solve M v = 0 with free column [f] set: each echelon row fixes its
+         pivot coordinate. *)
+      List.iter
+        (fun (c, row) ->
+          let sum = ref false in
+          for i = c + 1 to ncols - 1 do
+            if row.(i) && v.(i) then sum := not !sum
+          done;
+          v.(c) <- !sum)
+        (List.rev echelon);
+      v)
+    free_cols
+
+let models s =
+  if s.nvars > 22 then invalid_arg "Gf2.models: too many variables";
+  let acc = ref [] in
+  for mask = (1 lsl s.nvars) - 1 downto 0 do
+    let assignment = Array.init s.nvars (fun i -> (mask lsr i) land 1 = 1) in
+    if satisfies assignment s then acc := assignment :: !acc
+  done;
+  !acc
+
+let size s =
+  List.fold_left
+    (fun acc e -> acc + 1 + Array.fold_left (fun n c -> if c then n + 1 else n) 0 e.coeffs)
+    0 s.equations
+
+let pp ppf s =
+  if s.equations = [] then Format.pp_print_string ppf "true"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ")
+      (fun ppf e ->
+        let vars =
+          List.filteri (fun i _ -> e.coeffs.(i)) (List.init s.nvars Fun.id)
+        in
+        if vars = [] then Format.fprintf ppf "0 = %d" (if e.rhs then 1 else 0)
+        else
+          Format.fprintf ppf "%a = %d"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf " + ")
+               (fun ppf v -> Format.fprintf ppf "p%d" v))
+            vars
+            (if e.rhs then 1 else 0))
+      ppf s.equations

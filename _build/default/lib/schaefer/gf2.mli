@@ -1,0 +1,35 @@
+(** Linear algebra over the two-element field GF(2).
+
+    Used for Schaefer's affine class: an affine relation is the solution set
+    of a linear system, recovered via the nullspace of the relation's tuple
+    matrix (Theorem 3.2), and affine satisfiability reduces to Gaussian
+    elimination. *)
+
+type equation = { coeffs : bool array; rhs : bool }
+(** [sum_i coeffs.(i) * x_i = rhs] over GF(2). *)
+
+type system = { nvars : int; equations : equation list }
+
+val make_system : nvars:int -> equation list -> system
+(** @raise Invalid_argument on coefficient-vector length mismatch. *)
+
+val satisfies : bool array -> system -> bool
+
+val solve : system -> bool array option
+(** Some solution (free variables set to 0), or [None] when inconsistent. *)
+
+val rank : bool array list -> int
+(** Rank of a list of equal-length GF(2) row vectors. *)
+
+val nullspace_basis : ncols:int -> bool array list -> bool array list
+(** Basis of the right nullspace [{a | M a = 0}] of the matrix whose rows
+    are the given vectors. *)
+
+val models : system -> bool array list
+(** All solutions by exhaustive enumeration; for testing only.
+    @raise Invalid_argument when [nvars > 22]. *)
+
+val size : system -> int
+(** Total number of nonzero coefficients plus one per equation. *)
+
+val pp : Format.formatter -> system -> unit

@@ -1,0 +1,66 @@
+type clause_state = {
+  negatives : int list; (* distinct variables occurring negatively *)
+  head : int option; (* the positive variable, if any *)
+  mutable pending : int; (* negatives not yet set to true *)
+}
+
+let solve formula =
+  if not (Cnf.is_horn formula) then invalid_arg "Horn_sat.solve: formula is not Horn";
+  let n = formula.Cnf.nvars in
+  let value = Array.make n false in
+  let queue = Queue.create () in
+  let set_true v =
+    if not value.(v) then begin
+      value.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  (* Normalize clauses: drop tautologies, dedupe literals. *)
+  let states = ref [] in
+  let watch = Array.make n [] in
+  let unsat = ref false in
+  List.iter
+    (fun clause ->
+      let nvars =
+        List.sort_uniq Int.compare
+          (List.filter_map
+             (fun l -> if l.Cnf.sign then None else Some l.Cnf.var)
+             clause)
+      in
+      let head =
+        List.fold_left
+          (fun acc l -> if l.Cnf.sign then Some l.Cnf.var else acc)
+          None clause
+      in
+      let tautology =
+        match head with Some h -> List.mem h nvars | None -> false
+      in
+      if not tautology then begin
+        let st = { negatives = nvars; head; pending = List.length nvars } in
+        states := st :: !states;
+        List.iter (fun v -> watch.(v) <- st :: watch.(v)) nvars;
+        if st.pending = 0 then
+          match head with
+          | Some h -> set_true h
+          | None -> unsat := true
+      end)
+    formula.Cnf.clauses;
+  while (not !unsat) && not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun st ->
+        st.pending <- st.pending - 1;
+        if st.pending = 0 then
+          match st.head with
+          | Some h -> set_true h
+          | None -> unsat := true)
+      watch.(v)
+  done;
+  if !unsat then None else Some value
+
+let solve_dual formula =
+  if not (Cnf.is_dual_horn formula) then
+    invalid_arg "Horn_sat.solve_dual: formula is not dual Horn";
+  match solve (Cnf.flip_signs formula) with
+  | None -> None
+  | Some value -> Some (Array.map not value)

@@ -1,0 +1,12 @@
+(** Linear-time Horn satisfiability by positive unit propagation
+    (Dowling–Gallier / Beeri–Bernstein). *)
+
+val solve : Cnf.t -> bool array option
+(** Least model of a satisfiable Horn formula (the propagation fixpoint), or
+    [None] when unsatisfiable.
+    @raise Invalid_argument if the formula is not Horn. *)
+
+val solve_dual : Cnf.t -> bool array option
+(** Same for dual Horn formulas, via the sign-flip duality (the returned
+    model is the greatest one).
+    @raise Invalid_argument if the formula is not dual Horn. *)

@@ -1,0 +1,102 @@
+type operation = {
+  name : string;
+  arity : int;
+  table : int array;
+}
+
+let make ~name ~arity f =
+  { name; arity; table = Array.init (1 lsl arity) (fun m -> if f m <> 0 then 1 else 0) }
+
+let apply op args =
+  if List.length args <> op.arity then invalid_arg "Polymorphism.apply: arity mismatch";
+  let mask =
+    List.fold_left
+      (fun (acc, i) a ->
+        match a with
+        | 0 -> (acc, i + 1)
+        | 1 -> (acc lor (1 lsl i), i + 1)
+        | _ -> invalid_arg "Polymorphism.apply: argument not 0/1")
+      (0, 0) args
+    |> fst
+  in
+  op.table.(mask)
+
+let popcount m =
+  let rec loop m acc = if m = 0 then acc else loop (m lsr 1) (acc + (m land 1)) in
+  loop m 0
+
+let const0 = make ~name:"const0" ~arity:1 (fun _ -> 0)
+
+let const1 = make ~name:"const1" ~arity:1 (fun _ -> 1)
+
+let and2 = make ~name:"and" ~arity:2 (fun m -> if m = 0b11 then 1 else 0)
+
+let or2 = make ~name:"or" ~arity:2 (fun m -> if m <> 0 then 1 else 0)
+
+let majority3 = make ~name:"majority" ~arity:3 (fun m -> if popcount m >= 2 then 1 else 0)
+
+let minority3 = make ~name:"minority" ~arity:3 (fun m -> popcount m land 1)
+
+let projection ~arity i =
+  if i < 0 || i >= arity then invalid_arg "Polymorphism.projection: index out of range";
+  make ~name:(Printf.sprintf "proj%d/%d" i arity) ~arity (fun m -> (m lsr i) land 1)
+
+let negation = make ~name:"not" ~arity:1 (fun m -> 1 - (m land 1))
+
+(* Apply componentwise to [r] tuples given as masks of width [k]. *)
+let apply_componentwise op ~width masks =
+  let result = ref 0 in
+  for pos = 0 to width - 1 do
+    let argmask =
+      List.fold_left
+        (fun (acc, i) m -> ((acc lor (((m lsr pos) land 1) lsl i)), i + 1))
+        (0, 0) masks
+      |> fst
+    in
+    if op.table.(argmask) = 1 then result := !result lor (1 lsl pos)
+  done;
+  !result
+
+let preserves op relation =
+  let width = Boolean_relation.arity relation in
+  let masks = Boolean_relation.masks relation in
+  let rec choose chosen remaining =
+    if remaining = 0 then
+      Boolean_relation.mem relation (apply_componentwise op ~width (List.rev chosen))
+    else
+      List.for_all (fun m -> choose (m :: chosen) (remaining - 1)) masks
+  in
+  Boolean_relation.is_empty relation || choose [] op.arity
+
+let preserves_structure op b =
+  List.for_all (fun (_, r) -> preserves op r) (Classify.boolean_relations b)
+
+let polymorphisms ~arity relation =
+  if arity > 3 then invalid_arg "Polymorphism.polymorphisms: arity > 3";
+  let entries = 1 lsl arity in
+  List.filter_map
+    (fun code ->
+      let op =
+        make ~name:(Printf.sprintf "op#%d/%d" code arity) ~arity (fun m ->
+            (code lsr m) land 1)
+      in
+      if preserves op relation then Some op else None)
+    (List.init (1 lsl entries) Fun.id)
+
+let classes_via_polymorphisms relation =
+  if Boolean_relation.is_empty relation then
+    (* The empty relation is vacuously closed under every componentwise
+       operation but contains neither constant tuple. *)
+    [ Classify.Horn; Classify.Dual_horn; Classify.Bijunctive; Classify.Affine ]
+  else
+  (* 0-validity and 1-validity are preservation by the constants. *)
+  List.filter_map
+    (fun (cls, op) -> if preserves op relation then Some cls else None)
+    [
+      (Classify.Zero_valid, const0);
+      (Classify.One_valid, const1);
+      (Classify.Horn, and2);
+      (Classify.Dual_horn, or2);
+      (Classify.Bijunctive, majority3);
+      (Classify.Affine, minority3);
+    ]

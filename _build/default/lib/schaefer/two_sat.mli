@@ -1,0 +1,14 @@
+(** 2-SAT solvers.
+
+    [solve] is the classical linear-time algorithm via strongly connected
+    components of the implication graph.  [solve_phase] is the
+    phase-propagation algorithm from Lewis–Papadimitriou that the paper
+    emulates in its direct bijunctive algorithm (Theorem 3.4): pick an
+    unassigned variable, guess a value, propagate; on conflict undo and try
+    the other value; fail only if both guesses conflict. *)
+
+val solve : Cnf.t -> bool array option
+(** @raise Invalid_argument if a clause has more than two literals. *)
+
+val solve_phase : Cnf.t -> bool array option
+(** @raise Invalid_argument if a clause has more than two literals. *)

@@ -1,0 +1,283 @@
+open Relational
+
+type outcome =
+  | Hom of Homomorphism.mapping
+  | No_hom
+  | Not_applicable of string
+
+let target_relation b name arity =
+  match Structure.relation b name with
+  | r -> Boolean_relation.of_relation r
+  | exception Not_found -> Boolean_relation.create arity []
+
+(* Symbols of A's vocabulary that carry at least one fact, with their
+   arities. *)
+let used_symbols a =
+  List.filter
+    (fun (name, _) -> not (Relation.is_empty (Structure.relation a name)))
+    (Vocabulary.symbols (Structure.vocabulary a))
+
+let build_formula a b cls =
+  let n = Structure.size a in
+  let clausal = ref [] and linear = ref [] in
+  List.iter
+    (fun (name, arity) ->
+      let def = Define.defining (target_relation b name arity) cls in
+      Relation.iter
+        (fun t ->
+          match def with
+          | Define.Clausal f -> clausal := Cnf.map_vars ~nvars:n (fun p -> t.(p)) f :: !clausal
+          | Define.Linear s ->
+            List.iter
+              (fun e ->
+                let coeffs = Array.make n false in
+                Array.iteri
+                  (fun p c -> if c then coeffs.(t.(p)) <- not coeffs.(t.(p)))
+                  e.Gf2.coeffs;
+                linear := { Gf2.coeffs; rhs = e.Gf2.rhs } :: !linear)
+              s.Gf2.equations)
+        (Structure.relation a name))
+    (used_symbols a);
+  match cls with
+  | Classify.Affine -> Define.Linear (Gf2.make_system ~nvars:n !linear)
+  | Classify.Horn | Classify.Dual_horn | Classify.Bijunctive ->
+    Define.Clausal
+      (if !clausal = [] then Cnf.make ~nvars:n [] else Cnf.conjoin !clausal)
+  | Classify.Zero_valid | Classify.One_valid ->
+    invalid_arg "Uniform.build_formula: trivial class"
+
+let mapping_of_assignment assignment =
+  Array.map (fun v -> if v then 1 else 0) assignment
+
+let preconditions a b =
+  if Structure.size b <> 2 then Some "target is not Boolean"
+  else if
+    not
+      (List.for_all
+         (fun (name, arity) ->
+           (not (Vocabulary.mem (Structure.vocabulary b) name))
+           || Vocabulary.arity (Structure.vocabulary b) name = arity)
+         (Vocabulary.symbols (Structure.vocabulary a)))
+  then Some "vocabulary arity mismatch"
+  else None
+
+(* Symbols used by A but absent from B kill any homomorphism; classify can
+   not see them, so rule them out up front. *)
+let missing_symbol a b =
+  List.exists
+    (fun (name, _) -> not (Vocabulary.mem (Structure.vocabulary b) name))
+    (used_symbols a)
+
+let solve_with ~route a b =
+  match preconditions a b with
+  | Some reason -> Not_applicable reason
+  | None -> (
+    if missing_symbol a b then No_hom
+    else
+      match Classify.classify b with
+      | None -> Not_applicable "target is not a Schaefer structure"
+      | Some Classify.Zero_valid -> Hom (Array.make (Structure.size a) 0)
+      | Some Classify.One_valid -> Hom (Array.make (Structure.size a) 1)
+      | Some cls -> route cls)
+
+let formula_route a b cls =
+  match build_formula a b cls with
+  | Define.Clausal f -> (
+    let result =
+      match cls with
+      | Classify.Horn -> Horn_sat.solve f
+      | Classify.Dual_horn -> Horn_sat.solve_dual f
+      | Classify.Bijunctive -> Two_sat.solve f
+      | _ -> assert false
+    in
+    match result with
+    | Some assignment -> Hom (mapping_of_assignment assignment)
+    | None -> No_hom)
+  | Define.Linear s -> (
+    match Gf2.solve s with
+    | Some assignment -> Hom (mapping_of_assignment assignment)
+    | None -> No_hom)
+
+let solve a b = solve_with a b ~route:(fun cls -> formula_route a b cls)
+
+(* ------------------------------------------------------------------ *)
+(* Direct algorithms (Theorem 3.4).                                    *)
+(* ------------------------------------------------------------------ *)
+
+let occurrences a =
+  let occ = Array.make (max (Structure.size a) 1) [] in
+  Structure.iter_tuples
+    (fun name t ->
+      List.iter (fun x -> occ.(x) <- (name, t) :: occ.(x)) (Tuple.elements t))
+    a;
+  occ
+
+let target_masks a b =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (name, arity) ->
+      Hashtbl.replace table name
+        (Boolean_relation.masks (target_relation b name arity)))
+    (Vocabulary.symbols (Structure.vocabulary a));
+  table
+
+let solve_horn_direct a b =
+  let n = Structure.size a in
+  let one = Array.make (max n 1) false in
+  let occ = occurrences a in
+  let masks = target_masks a b in
+  let queue = Queue.create () in
+  let set x =
+    if not one.(x) then begin
+      one.(x) <- true;
+      Queue.add x queue
+    end
+  in
+  let ones_mask (t : Tuple.t) =
+    let m = ref 0 in
+    Array.iteri (fun i x -> if one.(x) then m := !m lor (1 lsl i)) t;
+    !m
+  in
+  let process (name, (t : Tuple.t)) =
+    let ts = Hashtbl.find masks name in
+    let x = ones_mask t in
+    Array.iteri
+      (fun j el ->
+        if not one.(el) then
+          let forced =
+            List.for_all
+              (fun t' -> t' land x <> x || (t' lsr j) land 1 = 1)
+              ts
+          in
+          if forced then set el)
+      t
+  in
+  Structure.iter_tuples (fun name t -> process (name, t)) a;
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    List.iter process occ.(x)
+  done;
+  let feasible = ref true in
+  Structure.iter_tuples
+    (fun name t ->
+      if !feasible then begin
+        let ts = Hashtbl.find masks name in
+        let x = ones_mask t in
+        if not (List.exists (fun t' -> t' land x = x) ts) then feasible := false
+      end)
+    a;
+  if !feasible then Some (Array.init n (fun x -> if one.(x) then 1 else 0)) else None
+
+let flip_boolean b = Structure.map_universe b ~size:2 (fun v -> 1 - v)
+
+let solve_dual_horn_direct a b =
+  match solve_horn_direct a (flip_boolean b) with
+  | None -> None
+  | Some h -> Some (Array.map (fun v -> 1 - v) h)
+
+let solve_bijunctive_direct a b =
+  let n = Structure.size a in
+  let value = Array.make (max n 1) (-1) in
+  let occ = occurrences a in
+  let tuples_of =
+    let table = Hashtbl.create 16 in
+    List.iter
+      (fun (name, arity) ->
+        let ts =
+          match Structure.relation b name with
+          | r -> Array.of_list (Relation.elements r)
+          | exception Not_found -> ignore arity; [||]
+        in
+        Hashtbl.replace table name ts)
+      (Vocabulary.symbols (Structure.vocabulary a));
+    table
+  in
+  let trail = Stack.create () in
+  let queue = Queue.create () in
+  let conflict = ref false in
+  let set x v =
+    if value.(x) = -1 then begin
+      value.(x) <- v;
+      Stack.push x trail;
+      Queue.add x queue
+    end
+    else if value.(x) <> v then conflict := true
+  in
+  let propagate_element x =
+    let v = value.(x) in
+    List.iter
+      (fun (name, (t : Tuple.t)) ->
+        if not !conflict then begin
+          let ts = Hashtbl.find tuples_of name in
+          let arity = Array.length t in
+          for k = 0 to arity - 1 do
+            if (not !conflict) && t.(k) = x then begin
+              let matching =
+                Array.to_list ts |> List.filter (fun (t' : Tuple.t) -> t'.(k) = v)
+              in
+              if matching = [] then conflict := true
+              else
+                for l = 0 to arity - 1 do
+                  if not !conflict then begin
+                    let candidates =
+                      List.sort_uniq Int.compare
+                        (List.map (fun (t' : Tuple.t) -> t'.(l)) matching)
+                    in
+                    match candidates with
+                    | [ j ] -> set t.(l) j
+                    | _ -> ()
+                  end
+                done
+            end
+          done
+        end)
+      occ.(x)
+  in
+  let propagate_from x v =
+    conflict := false;
+    Queue.clear queue;
+    set x v;
+    while (not !conflict) && not (Queue.is_empty queue) do
+      propagate_element (Queue.pop queue)
+    done;
+    not !conflict
+  in
+  let undo_phase () =
+    while not (Stack.is_empty trail) do
+      value.(Stack.pop trail) <- -1
+    done
+  in
+  let rec phases x =
+    if x >= n then Some (Array.sub value 0 n)
+    else if value.(x) >= 0 then phases (x + 1)
+    else if propagate_from x 0 then begin
+      Stack.clear trail;
+      phases (x + 1)
+    end
+    else begin
+      undo_phase ();
+      if propagate_from x 1 then begin
+        Stack.clear trail;
+        phases (x + 1)
+      end
+      else None
+    end
+  in
+  match phases 0 with
+  | None -> None
+  | Some h ->
+    if Homomorphism.is_homomorphism a b h then Some h
+    else
+      invalid_arg
+        "Uniform.solve_bijunctive_direct: propagation produced a non-homomorphism \
+         (is the target really bijunctive?)"
+
+let solve_direct a b =
+  solve_with a b ~route:(fun cls ->
+      let lift = function Some h -> Hom h | None -> No_hom in
+      match cls with
+      | Classify.Horn -> lift (solve_horn_direct a b)
+      | Classify.Dual_horn -> lift (solve_dual_horn_direct a b)
+      | Classify.Bijunctive -> lift (solve_bijunctive_direct a b)
+      | Classify.Affine -> formula_route a b Classify.Affine
+      | Classify.Zero_valid | Classify.One_valid -> assert false)

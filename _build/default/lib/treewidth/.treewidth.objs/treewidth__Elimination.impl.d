@@ -1,0 +1,1 @@
+lib/treewidth/elimination.ml: Fun Graph Hashtbl List Queue Tree_decomposition

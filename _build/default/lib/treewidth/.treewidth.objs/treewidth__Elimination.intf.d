@@ -1,0 +1,1 @@
+lib/treewidth/elimination.mli: Graph Tree_decomposition

@@ -1,0 +1,1 @@
+lib/treewidth/graph.ml: Array Format Int List Queue Set

@@ -1,0 +1,1 @@
+lib/treewidth/hypergraph.ml: Array Elimination Fun Graph Hashtbl Homomorphism Int List Option Relation Relational Set Structure Tree_decomposition Tuple

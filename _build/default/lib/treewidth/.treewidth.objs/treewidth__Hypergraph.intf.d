@@ -1,0 +1,1 @@
+lib/treewidth/hypergraph.mli: Homomorphism Relational Structure Tuple

@@ -1,0 +1,1 @@
+lib/treewidth/incidence.ml: Array Elimination Graph Hashtbl Homomorphism Int List Relation Relational Structure Tree_decomposition Tuple

@@ -1,0 +1,1 @@
+lib/treewidth/incidence.mli: Graph Homomorphism Relational Structure Tree_decomposition

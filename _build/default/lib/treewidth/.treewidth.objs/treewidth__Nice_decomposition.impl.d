@@ -1,0 +1,1 @@
+lib/treewidth/nice_decomposition.ml: Array Int List Tree_decomposition

@@ -1,0 +1,1 @@
+lib/treewidth/nice_decomposition.mli: Graph Tree_decomposition

@@ -1,0 +1,1 @@
+lib/treewidth/td_solver.ml: Array Elimination Graph Hashtbl Int List Option Relation Relational Structure Tree_decomposition Tuple

@@ -1,0 +1,1 @@
+lib/treewidth/td_solver.mli: Homomorphism Relational Structure Tree_decomposition

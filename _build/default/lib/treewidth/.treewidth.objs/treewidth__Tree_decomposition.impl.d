@@ -1,0 +1,1 @@
+lib/treewidth/tree_decomposition.ml: Array Format Fun Graph Hashtbl Int List Queue Relational Structure Tuple

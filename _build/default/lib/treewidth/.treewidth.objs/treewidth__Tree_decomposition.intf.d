@@ -1,0 +1,1 @@
+lib/treewidth/tree_decomposition.mli: Format Graph Relational Structure

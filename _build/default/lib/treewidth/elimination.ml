@@ -1,0 +1,107 @@
+let greedy_order score g =
+  let n = Graph.size g in
+  let current = ref g in
+  let remaining = ref (List.init n Fun.id) in
+  let order = ref [] in
+  while !remaining <> [] do
+    let best =
+      List.fold_left
+        (fun best v ->
+          match best with
+          | None -> Some (v, score !current v)
+          | Some (_, s) ->
+            let s' = score !current v in
+            if s' < s then Some (v, s') else best)
+        None !remaining
+    in
+    match best with
+    | None -> assert false
+    | Some (v, _) ->
+      order := v :: !order;
+      remaining := List.filter (fun u -> u <> v) !remaining;
+      current := Graph.eliminate_vertex !current v
+  done;
+  List.rev !order
+
+let min_degree_order g = greedy_order Graph.degree g
+
+let fill_count g v =
+  let nbrs = Graph.neighbors g v in
+  let missing = ref 0 in
+  List.iter
+    (fun u ->
+      List.iter (fun w -> if u < w && not (Graph.mem_edge g u w) then incr missing) nbrs)
+    nbrs;
+  !missing
+
+let min_fill_order g = greedy_order fill_count g
+
+let width_of_order g order =
+  let current = ref g in
+  let width = ref (-1) in
+  List.iter
+    (fun v ->
+      width := max !width (Graph.degree !current v);
+      current := Graph.eliminate_vertex !current v)
+    order;
+  !width
+
+let treewidth_upper_bound g =
+  min (width_of_order g (min_degree_order g)) (width_of_order g (min_fill_order g))
+
+(* Exact treewidth: f(S) = best width over orders that eliminate exactly the
+   vertices of S first, where the elimination degree of v after S is the
+   number of vertices outside S reachable from v through S.  Then
+   tw(G) = f(V).  Memoized over subsets encoded as bit masks. *)
+let treewidth_exact g =
+  let n = Graph.size g in
+  if n > 20 then invalid_arg "Elimination.treewidth_exact: more than 20 vertices";
+  if n = 0 then -1
+  else begin
+    (* Degree of v when eliminated after the vertices of [mask]: vertices
+       outside mask (other than v) reachable from v via vertices in mask. *)
+    let elimination_degree v mask =
+      let seen = ref (1 lsl v) in
+      let queue = Queue.create () in
+      Queue.add v queue;
+      let count = ref 0 in
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        List.iter
+          (fun w ->
+            if !seen land (1 lsl w) = 0 then begin
+              seen := !seen lor (1 lsl w);
+              if mask land (1 lsl w) <> 0 then Queue.add w queue else incr count
+            end)
+          (Graph.neighbors g u)
+      done;
+      !count
+    in
+    let memo = Hashtbl.create 4096 in
+    let rec f mask =
+      if mask = 0 then -1
+      else
+        match Hashtbl.find_opt memo mask with
+        | Some w -> w
+        | None ->
+          let best = ref max_int in
+          for v = 0 to n - 1 do
+            if mask land (1 lsl v) <> 0 then begin
+              let rest = mask lxor (1 lsl v) in
+              let w = max (f rest) (elimination_degree v rest) in
+              if w < !best then best := w
+            end
+          done;
+          Hashtbl.replace memo mask !best;
+          !best
+    in
+    f ((1 lsl n) - 1)
+  end
+
+let decomposition ?(heuristic = `Min_fill) g =
+  let order =
+    match heuristic with
+    | `Min_degree -> min_degree_order g
+    | `Min_fill -> min_fill_order g
+  in
+  Tree_decomposition.of_elimination_order g order

@@ -1,0 +1,26 @@
+(** Elimination orders and treewidth computation.
+
+    Heuristic orders (min-degree, min-fill) give upper bounds on treewidth;
+    the exact algorithm is a dynamic program over vertex subsets, usable for
+    small graphs (it is exponential — treewidth is NP-hard in general,
+    though Bodlaender's algorithm is linear for each fixed k). *)
+
+val min_degree_order : Graph.t -> int list
+(** Repeatedly eliminate a vertex of minimum current degree. *)
+
+val min_fill_order : Graph.t -> int list
+(** Repeatedly eliminate a vertex adding the fewest fill edges. *)
+
+val width_of_order : Graph.t -> int list -> int
+(** Width of the decomposition induced by the order. *)
+
+val treewidth_upper_bound : Graph.t -> int
+(** Best of the two heuristics. *)
+
+val treewidth_exact : Graph.t -> int
+(** Exact treewidth by subset dynamic programming.
+    @raise Invalid_argument when the graph has more than 20 vertices. *)
+
+val decomposition :
+  ?heuristic:[ `Min_degree | `Min_fill ] -> Graph.t -> Tree_decomposition.t
+(** Decomposition from the chosen heuristic order (default [`Min_fill]). *)

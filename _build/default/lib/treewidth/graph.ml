@@ -1,0 +1,112 @@
+module Iset = Set.Make (Int)
+
+type t = { size : int; adj : Iset.t array }
+
+let create size =
+  if size < 0 then invalid_arg "Graph.create: negative size";
+  { size; adj = Array.make (max size 1) Iset.empty }
+
+let size g = g.size
+
+let check g v =
+  if v < 0 || v >= g.size then invalid_arg "Graph: vertex out of range"
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if u = v then g
+  else begin
+    let adj = Array.copy g.adj in
+    adj.(u) <- Iset.add v adj.(u);
+    adj.(v) <- Iset.add u adj.(v);
+    { g with adj }
+  end
+
+let of_edges ~size edges =
+  List.fold_left (fun g (u, v) -> add_edge g u v) (create size) edges
+
+let mem_edge g u v =
+  check g u;
+  check g v;
+  Iset.mem v g.adj.(u)
+
+let neighbors g v =
+  check g v;
+  Iset.elements g.adj.(v)
+
+let degree g v =
+  check g v;
+  Iset.cardinal g.adj.(v)
+
+let edge_count g =
+  Array.fold_left (fun acc s -> acc + Iset.cardinal s) 0 g.adj / 2
+
+let edges g =
+  let acc = ref [] in
+  for u = g.size - 1 downto 0 do
+    Iset.iter (fun v -> if u < v then acc := (u, v) :: !acc) g.adj.(u)
+  done;
+  List.sort compare !acc
+
+let remove_vertex g v =
+  check g v;
+  let adj = Array.map (Iset.remove v) g.adj in
+  adj.(v) <- Iset.empty;
+  { g with adj }
+
+let eliminate_vertex g v =
+  check g v;
+  let nbrs = neighbors g v in
+  let g =
+    List.fold_left
+      (fun g u -> List.fold_left (fun g w -> if u < w then add_edge g u w else g) g nbrs)
+      g nbrs
+  in
+  remove_vertex g v
+
+let is_clique g vs =
+  List.for_all (fun u -> List.for_all (fun v -> u = v || mem_edge g u v) vs) vs
+
+let complete n =
+  let g = create n in
+  let acc = ref g in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      acc := add_edge !acc u v
+    done
+  done;
+  !acc
+
+let components g =
+  let seen = Array.make (max g.size 1) false in
+  let comps = ref [] in
+  for v = 0 to g.size - 1 do
+    if not seen.(v) then begin
+      let comp = ref [] in
+      let queue = Queue.create () in
+      Queue.add v queue;
+      seen.(v) <- true;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        comp := u :: !comp;
+        Iset.iter
+          (fun w ->
+            if not seen.(w) then begin
+              seen.(w) <- true;
+              Queue.add w queue
+            end)
+          g.adj.(u)
+      done;
+      comps := List.sort Int.compare !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let equal g h = g.size = h.size && Array.for_all2 Iset.equal g.adj h.adj
+
+let pp ppf g =
+  Format.fprintf ppf "graph(%d){%a}" g.size
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (u, v) -> Format.fprintf ppf "%d-%d" u v))
+    (edges g)

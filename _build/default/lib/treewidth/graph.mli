@@ -1,0 +1,44 @@
+(** Simple undirected graphs on vertices [0 .. size-1]. *)
+
+type t
+
+val create : int -> t
+(** Edgeless graph. *)
+
+val of_edges : size:int -> (int * int) list -> t
+(** Self-loops are ignored; duplicate edges collapse.
+    @raise Invalid_argument on out-of-range endpoints. *)
+
+val size : t -> int
+
+val edge_count : t -> int
+
+val mem_edge : t -> int -> int -> bool
+
+val add_edge : t -> int -> int -> t
+
+val neighbors : t -> int -> int list
+(** Sorted. *)
+
+val degree : t -> int -> int
+
+val edges : t -> (int * int) list
+(** Pairs [(u, v)] with [u < v], sorted. *)
+
+val remove_vertex : t -> int -> t
+(** Keeps the vertex numbering; the vertex just loses all its edges. *)
+
+val eliminate_vertex : t -> int -> t
+(** Remove the vertex and connect its neighbors into a clique (the
+    elimination step behind tree decompositions). *)
+
+val is_clique : t -> int list -> bool
+
+val complete : int -> t
+
+val components : t -> int list list
+(** Connected components, each sorted. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

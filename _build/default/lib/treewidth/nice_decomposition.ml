@@ -1,0 +1,134 @@
+type node =
+  | Leaf
+  | Introduce of int * int
+  | Forget of int * int
+  | Join of int * int
+
+type t = {
+  nodes : node array;
+  bags : int list array;
+  root : int;
+}
+
+(* Builder accumulating nodes in topological order (children first). *)
+type builder = { mutable acc : (node * int list) list; mutable next : int }
+
+let emit b node bag =
+  b.acc <- (node, bag) :: b.acc;
+  b.next <- b.next + 1;
+  b.next - 1
+
+let rec emit_leaf_chain b bag =
+  (* Build Leaf, then introduce the bag's vertices one by one. *)
+  match bag with
+  | [] -> emit b Leaf []
+  | v :: rest ->
+    let below = emit_leaf_chain b rest in
+    emit b (Introduce (v, below)) bag
+
+(* Morph a child whose bag is [from_bag] into [to_bag]: forget the extras,
+   then introduce the missing. *)
+let morph b child ~from_bag ~to_bag =
+  let extras = List.filter (fun v -> not (List.mem v to_bag)) from_bag in
+  let missing = List.filter (fun v -> not (List.mem v from_bag)) to_bag in
+  let after_forgets =
+    List.fold_left
+      (fun (node, bag) v ->
+        let bag' = List.filter (( <> ) v) bag in
+        (emit b (Forget (v, node)) bag', bag'))
+      (child, from_bag) extras
+  in
+  List.fold_left
+    (fun (node, bag) v ->
+      let bag' = List.sort Int.compare (v :: bag) in
+      (emit b (Introduce (v, node)) bag', bag'))
+    after_forgets missing
+  |> fst
+
+let of_decomposition td =
+  let bags =
+    Array.map (List.sort_uniq Int.compare) td.Tree_decomposition.bags
+  in
+  let n = Tree_decomposition.node_count td in
+  let adj = Tree_decomposition.adjacency td in
+  let b = { acc = []; next = 0 } in
+  let root_original = 0 in
+  (* Recursively build the nice tree for the subtree rooted at [u]; the
+     result's bag is [bags.(u)]. *)
+  let rec build u parent =
+    let children = List.filter (fun v -> v <> parent) adj.(u) in
+    let child_nodes =
+      List.map
+        (fun c ->
+          let sub = build c u in
+          morph b sub ~from_bag:bags.(c) ~to_bag:bags.(u))
+        children
+    in
+    match child_nodes with
+    | [] -> emit_leaf_chain b bags.(u)
+    | [ single ] -> single
+    | first :: rest ->
+      List.fold_left
+        (fun acc node -> emit b (Join (acc, node)) bags.(u))
+        first rest
+  in
+  let top =
+    if n = 0 then emit b Leaf []
+    else begin
+      let body = build root_original (-1) in
+      (* Forget the root bag down to the empty bag. *)
+      morph b body ~from_bag:bags.(root_original) ~to_bag:[]
+    end
+  in
+  let items = List.rev b.acc in
+  {
+    nodes = Array.of_list (List.map fst items);
+    bags = Array.of_list (List.map (fun (_, bag) -> List.sort Int.compare bag) items);
+    root = top;
+  }
+
+let width t = Array.fold_left (fun acc bag -> max acc (List.length bag - 1)) (-1) t.bags
+
+let node_count t = Array.length t.nodes
+
+let validate t =
+  let n = node_count t in
+  t.root >= 0 && t.root < n
+  && t.bags.(t.root) = []
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i node ->
+      let expect_bag cond = if not cond then ok := false in
+      match node with
+      | Leaf -> expect_bag (t.bags.(i) = [])
+      | Introduce (v, c) ->
+        expect_bag (c < i);
+        expect_bag (not (List.mem v t.bags.(c)));
+        expect_bag (t.bags.(i) = List.sort Int.compare (v :: t.bags.(c)))
+      | Forget (v, c) ->
+        expect_bag (c < i);
+        expect_bag (List.mem v t.bags.(c));
+        expect_bag (t.bags.(i) = List.filter (( <> ) v) t.bags.(c))
+      | Join (c1, c2) ->
+        expect_bag (c1 < i && c2 < i);
+        expect_bag (t.bags.(c1) = t.bags.(c2));
+        expect_bag (t.bags.(i) = t.bags.(c1)))
+    t.nodes;
+  !ok
+
+let covers t g =
+  (* Reuse the generic validator by viewing the nice tree as an ordinary
+     decomposition. *)
+  let edges = ref [] in
+  Array.iteri
+    (fun i node ->
+      match node with
+      | Leaf -> ()
+      | Introduce (_, c) | Forget (_, c) -> edges := (c, i) :: !edges
+      | Join (c1, c2) ->
+        edges := (c1, i) :: !edges;
+        edges := (c2, i) :: !edges)
+    t.nodes;
+  let td = { Tree_decomposition.bags = t.bags; tree_edges = List.rev !edges } in
+  Tree_decomposition.validate_graph g td

@@ -1,0 +1,34 @@
+(** Nice tree decompositions: a rooted binary normal form in which every
+    node is a leaf (empty bag), introduces one vertex, forgets one vertex,
+    or joins two children with identical bags.  Most treewidth dynamic
+    programs are written against this shape; the transformation preserves
+    the width. *)
+
+type node =
+  | Leaf  (** Empty bag. *)
+  | Introduce of int * int  (** [(vertex, child)]: bag = child's bag + vertex. *)
+  | Forget of int * int  (** [(vertex, child)]: bag = child's bag - vertex. *)
+  | Join of int * int  (** Two children with equal bags. *)
+
+type t = {
+  nodes : node array;
+  bags : int list array;  (** Sorted bag of each node. *)
+  root : int;  (** The root has an empty bag. *)
+}
+
+val of_decomposition : Tree_decomposition.t -> t
+(** Normalize an arbitrary decomposition.  The result covers the same
+    vertices with the same width. *)
+
+val width : t -> int
+
+val node_count : t -> int
+
+val validate : t -> bool
+(** Structural invariants: bags match the node kinds, the root bag is
+    empty, children indices precede parents. *)
+
+val covers : t -> Graph.t -> bool
+(** Every vertex and edge of the graph is covered by some bag, and vertex
+    occurrences are connected (i.e. it is a genuine tree decomposition of
+    the graph). *)

@@ -1,0 +1,130 @@
+open Relational
+
+type t = { bags : int list array; tree_edges : (int * int) list }
+
+let node_count td = Array.length td.bags
+
+let width td =
+  Array.fold_left (fun acc bag -> max acc (List.length bag - 1)) (-1) td.bags
+
+let of_elimination_order g order =
+  let n = Graph.size g in
+  if List.sort Int.compare order <> List.init n Fun.id then
+    invalid_arg "Tree_decomposition.of_elimination_order: not a permutation";
+  let pos = Array.make (max n 1) 0 in
+  List.iteri (fun i v -> pos.(v) <- i) order;
+  let bags = Array.make (max n 1) [] in
+  let current = ref g in
+  List.iter
+    (fun v ->
+      bags.(v) <- List.sort Int.compare (v :: Graph.neighbors !current v);
+      current := Graph.eliminate_vertex !current v)
+    order;
+  let order_array = Array.of_list order in
+  let edges = ref [] in
+  List.iter
+    (fun v ->
+      if pos.(v) < n - 1 then begin
+        let later = List.filter (fun u -> u <> v) bags.(v) in
+        let parent =
+          match later with
+          | [] -> order_array.(pos.(v) + 1)
+          | u :: rest ->
+            List.fold_left (fun best w -> if pos.(w) < pos.(best) then w else best) u rest
+        in
+        edges := (v, parent) :: !edges
+      end)
+    order;
+  { bags; tree_edges = List.rev !edges }
+
+let adjacency td =
+  let adj = Array.make (max (node_count td) 1) [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    td.tree_edges;
+  adj
+
+let is_tree td =
+  let n = node_count td in
+  n = 0
+  || (List.length td.tree_edges = n - 1
+     &&
+     let adj = adjacency td in
+     let seen = Array.make n false in
+     let queue = Queue.create () in
+     Queue.add 0 queue;
+     seen.(0) <- true;
+     let count = ref 0 in
+     while not (Queue.is_empty queue) do
+       let u = Queue.pop queue in
+       incr count;
+       List.iter
+         (fun v ->
+           if not seen.(v) then begin
+             seen.(v) <- true;
+             Queue.add v queue
+           end)
+         adj.(u)
+     done;
+     !count = n)
+
+let vertex_connected td ~vertices v =
+  (* Nodes whose bags contain v must induce a connected subtree. *)
+  let holding = List.filter (fun t -> List.mem v td.bags.(t)) vertices in
+  match holding with
+  | [] -> false
+  | start :: _ ->
+    let adj = adjacency td in
+    let in_holding t = List.mem t holding in
+    let seen = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    Queue.add start queue;
+    Hashtbl.replace seen start ();
+    while not (Queue.is_empty queue) do
+      let t = Queue.pop queue in
+      List.iter
+        (fun u ->
+          if in_holding u && not (Hashtbl.mem seen u) then begin
+            Hashtbl.replace seen u ();
+            Queue.add u queue
+          end)
+        adj.(t)
+    done;
+    List.for_all (Hashtbl.mem seen) holding
+
+let validate_common ~size ~covers td =
+  let nodes = List.init (node_count td) Fun.id in
+  is_tree td
+  && List.for_all (fun v -> vertex_connected td ~vertices:nodes v) (List.init size Fun.id)
+  && covers (fun group ->
+         List.exists
+           (fun t -> List.for_all (fun v -> List.mem v td.bags.(t)) group)
+           nodes)
+
+let validate_graph g td =
+  validate_common ~size:(Graph.size g) td ~covers:(fun has_bag ->
+      List.for_all (fun (u, v) -> has_bag [ u; v ]) (Graph.edges g))
+
+let validate_structure a td =
+  validate_common ~size:(Structure.size a) td ~covers:(fun has_bag ->
+      let ok = ref true in
+      Structure.iter_tuples
+        (fun _ t -> if !ok && not (has_bag (Tuple.elements t)) then ok := false)
+        a;
+      !ok)
+
+let pp ppf td =
+  Format.fprintf ppf "@[<v>%a@,tree: %a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (i, bag) ->
+         Format.fprintf ppf "bag %d: {%a}" i
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+              Format.pp_print_int)
+           bag))
+    (List.mapi (fun i bag -> (i, bag)) (Array.to_list td.bags))
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (u, v) -> Format.fprintf ppf "%d-%d" u v))
+    td.tree_edges

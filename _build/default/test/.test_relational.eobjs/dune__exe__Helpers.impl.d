@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Format Homomorphism Int List Printf QCheck QCheck_alcotest Random Relational Schaefer Structure Vocabulary

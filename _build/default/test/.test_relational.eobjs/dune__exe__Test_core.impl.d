@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Core Cq Csp Format Graph_dichotomy Helpers Homomorphism List QCheck Relational Schaefer Solver Structure Treewidth Workloads

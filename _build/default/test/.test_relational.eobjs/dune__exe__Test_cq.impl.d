@@ -1,0 +1,1 @@
+test/test_cq.ml: Acyclic Alcotest Algebra Array Canonical Chase Constants Containment Cq Helpers Homomorphism List Parser Printf QCheck Query Relation Relational Structure Tuple Ucq Vocabulary

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Datalog Fo_eval Fo_parser Folog Format Formula Game_sentence Helpers Lfp List Pebble QCheck Relation Relational Structure Translate Treewidth Vocabulary

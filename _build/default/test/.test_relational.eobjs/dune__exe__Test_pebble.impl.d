@@ -1,0 +1,1 @@
+test/test_pebble.ml: Alcotest Array Game Helpers List Pebble QCheck Random Relational Schaefer Structure Vocabulary

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Arc_consistency Array Binarize Format Helpers Homomorphism List Printf QCheck Relation Relational Structure Structure_text Sum Tuple Vocabulary

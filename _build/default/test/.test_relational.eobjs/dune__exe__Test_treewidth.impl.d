@@ -1,0 +1,1 @@
+test/test_treewidth.ml: Alcotest Array Elimination Graph Helpers Homomorphism Hypergraph List Nice_decomposition QCheck Relational Structure Td_solver Tree_decomposition Treewidth Vocabulary

@@ -1,0 +1,281 @@
+open Relational
+open Core
+open Helpers
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* CSP formulation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let neq_constraint x y k =
+  let allowed = ref [] in
+  for a = 0 to k - 1 do
+    for b = 0 to k - 1 do
+      if a <> b then allowed := [| a; b |] :: !allowed
+    done
+  done;
+  { Csp.scope = [| x; y |]; allowed = !allowed }
+
+let csp_tests =
+  [
+    Alcotest.test_case "graph coloring as a CSP" `Quick (fun () ->
+        (* Triangle, 3 colors: satisfiable; 2 colors: not. *)
+        let triangle k =
+          Csp.make ~num_variables:3 ~domain_size:k
+            [ neq_constraint 0 1 k; neq_constraint 1 2 k; neq_constraint 0 2 k ]
+        in
+        (match Csp.solve (triangle 3) with
+        | Some assignment -> check "satisfies" true (Csp.satisfies (triangle 3) assignment)
+        | None -> Alcotest.fail "expected solution");
+        check "2 colors fail" true (Csp.solve (triangle 2) = None));
+    Alcotest.test_case "round trip through homomorphism form" `Quick (fun () ->
+        let csp =
+          Csp.make ~num_variables:2 ~domain_size:2
+            [ { Csp.scope = [| 0; 1 |]; allowed = [ [| 0; 1 |] ] } ]
+        in
+        let a, b = Csp.to_homomorphism csp in
+        let back = Csp.of_homomorphism a b in
+        check_int "variables" 2 back.Csp.num_variables;
+        check_int "domain" 2 back.Csp.domain_size;
+        check "solution preserved" true (Csp.solve back <> None));
+    Alcotest.test_case "validation" `Quick (fun () ->
+        check "bad variable" true
+          (try
+             ignore
+               (Csp.make ~num_variables:1 ~domain_size:2
+                  [ { Csp.scope = [| 3 |]; allowed = [] } ]);
+             false
+           with Invalid_argument _ -> true));
+    qtest ~count:150 "csp solve equals hom existence"
+      (arbitrary_pair ~max_size_a:3 ~max_size_b:3 ~max_tuples:3 ())
+      (fun (a, b) ->
+        let csp = Csp.of_homomorphism a b in
+        (Csp.solve csp <> None) = brute_force_exists a b);
+    qtest ~count:150 "csp solutions satisfy"
+      (arbitrary_pair ~max_size_a:3 ~max_size_b:3 ~max_tuples:3 ())
+      (fun (a, b) ->
+        let csp = Csp.of_homomorphism a b in
+        match Csp.solve csp with
+        | None -> true
+        | Some assignment -> Csp.satisfies csp assignment);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Unified solver                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let solver_tests =
+  [
+    Alcotest.test_case "schaefer route picked for boolean targets" `Quick (fun () ->
+        let b = Workloads.random_schaefer_target ~seed:7 Schaefer.Classify.Horn ~arities:[ 2 ] in
+        let a = Workloads.random_structure ~seed:3 (Structure.vocabulary b) ~size:5 ~tuples:4 in
+        match (Solver.solve a b).Solver.route with
+        | Solver.Schaefer_direct _ -> ()
+        | r -> Alcotest.fail ("unexpected route " ^ Solver.route_name r));
+    Alcotest.test_case "booleanized route for C4 targets" `Quick (fun () ->
+        let c4 = Workloads.directed_cycle 4 in
+        let r = Solver.solve (Workloads.directed_cycle 8) c4 in
+        (match r.Solver.route with
+        | Solver.Booleanized _ -> ()
+        | r -> Alcotest.fail ("unexpected route " ^ Solver.route_name r));
+        check "answer yes" true (r.Solver.answer <> None);
+        let r6 = Solver.solve (Workloads.directed_cycle 6) c4 in
+        check "answer no" true (r6.Solver.answer = None));
+    Alcotest.test_case "acyclic route for path sources" `Quick (fun () ->
+        (* Disable booleanization so the source-side route is exercised. *)
+        let r = Solver.solve ~booleanize_threshold:0 (Workloads.path 6) (Workloads.clique 3) in
+        match r.Solver.route with
+        | Solver.Acyclic -> check "found" true (r.Solver.answer <> None)
+        | r -> Alcotest.fail ("unexpected route " ^ Solver.route_name r));
+    Alcotest.test_case "treewidth route for cyclic bounded-width sources" `Quick (fun () ->
+        let a = Workloads.undirected_cycle 7 in
+        let r = Solver.solve ~booleanize_threshold:0 a (Workloads.clique 3) in
+        match r.Solver.route with
+        | Solver.Bounded_treewidth w ->
+          check "width 2" true (w = 2);
+          check "3-colorable" true (r.Solver.answer <> None)
+        | r -> Alcotest.fail ("unexpected route " ^ Solver.route_name r));
+    Alcotest.test_case "consistency refutation on uncolorable dense graphs" `Quick (fun () ->
+        (* K5 -> K4: treewidth 4 exceeds the cap; 2-consistency cannot refute
+           k-coloring, so this lands in backtracking... unless we raise k. *)
+        let r =
+          Solver.solve ~booleanize_threshold:0 ~max_treewidth:3 ~consistency_k:5
+            (Workloads.clique 5) (Workloads.clique 4)
+        in
+        (match r.Solver.route with
+        | Solver.Consistency_refutation 5 -> ()
+        | r -> Alcotest.fail ("unexpected route " ^ Solver.route_name r));
+        check "refuted" true (r.Solver.answer = None));
+    Alcotest.test_case "backtracking fallback" `Quick (fun () ->
+        let r =
+          Solver.solve ~booleanize_threshold:0 ~max_treewidth:1 ~consistency_k:1
+            (Workloads.clique 4) (Workloads.clique 4)
+        in
+        match r.Solver.route with
+        | Solver.Backtracking -> check "found" true (r.Solver.answer <> None)
+        | r -> Alcotest.fail ("unexpected route " ^ Solver.route_name r));
+    Alcotest.test_case "containment dispatch" `Quick (fun () ->
+        let q1 = Cq.Parser.parse "Q(X) :- E(X, Z), E(Z, W)." in
+        let q2 = Cq.Parser.parse "Q(X) :- E(X, Z)." in
+        let yes, _ = Solver.solve_containment q1 q2 in
+        let no, _ = Solver.solve_containment q2 q1 in
+        check "contained" true yes;
+        check "not contained" false no);
+    qtest ~count:200 "unified solver agrees with brute force"
+      (arbitrary_pair ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
+      (fun (a, b) ->
+        let r = Solver.solve a b in
+        (r.Solver.answer <> None) = brute_force_exists a b
+        &&
+        match r.Solver.answer with
+        | None -> true
+        | Some h -> Homomorphism.is_homomorphism a b h);
+    qtest ~count:100 "solver route answers agree across configurations"
+      (arbitrary_pair ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
+      (fun (a, b) ->
+        let r1 = Solver.solve ~booleanize_threshold:0 a b in
+        let r2 = Solver.solve ~max_treewidth:0 ~consistency_k:3 a b in
+        (r1.Solver.answer <> None) = (r2.Solver.answer <> None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let workload_tests =
+  [
+    Alcotest.test_case "generators are deterministic in the seed" `Quick (fun () ->
+        let g1 = Workloads.erdos_renyi ~seed:42 ~n:10 ~p:0.3 in
+        let g2 = Workloads.erdos_renyi ~seed:42 ~n:10 ~p:0.3 in
+        check "equal" true (Structure.equal g1 g2);
+        let g3 = Workloads.erdos_renyi ~seed:43 ~n:10 ~p:0.3 in
+        check "different seed differs" false (Structure.equal g1 g3));
+    Alcotest.test_case "partial k-trees have treewidth at most k" `Quick (fun () ->
+        List.iter
+          (fun (seed, k) ->
+            let s = Workloads.random_partial_ktree ~seed ~n:8 ~k ~keep:0.8 in
+            let g =
+              Treewidth.Graph.of_edges ~size:(Structure.size s) (Structure.gaifman_edges s)
+            in
+            check "bounded" true (Treewidth.Elimination.treewidth_exact g <= k))
+          [ (1, 1); (2, 2); (3, 2); (4, 3) ]);
+    Alcotest.test_case "schaefer targets classify as requested" `Quick (fun () ->
+        List.iter
+          (fun cls ->
+            let b = Workloads.random_schaefer_target ~seed:5 cls ~arities:[ 2; 3 ] in
+            check
+              (Schaefer.Classify.class_name cls)
+              true
+              (List.mem cls (Schaefer.Classify.structure_classes b)))
+          [ Schaefer.Classify.Zero_valid; Schaefer.Classify.One_valid;
+            Schaefer.Classify.Horn; Schaefer.Classify.Dual_horn;
+            Schaefer.Classify.Bijunctive; Schaefer.Classify.Affine ]);
+    Alcotest.test_case "one-in-three target is not Schaefer" `Quick (fun () ->
+        check "no class" true
+          (Schaefer.Classify.structure_classes Workloads.one_in_three_target = []));
+    Alcotest.test_case "chain queries are two-atom when short" `Quick (fun () ->
+        let q = Workloads.chain_query 2 in
+        check "two-atom" true (Cq.Query.is_two_atom q);
+        check "safe" true (Cq.Query.is_safe q));
+    Alcotest.test_case "random two-atom queries stay two-atom" `Quick (fun () ->
+        for seed = 0 to 20 do
+          let q =
+            Workloads.random_two_atom_query ~seed ~predicates:4 ~arity:2 ~variables:5
+          in
+          check "two-atom" true (Cq.Query.is_two_atom q)
+        done);
+    Alcotest.test_case "grid structure size" `Quick (fun () ->
+        check_int "12 nodes" 12 (Structure.size (Workloads.grid 3 4));
+        (* 3*3 + 2*4 = 17 undirected edges, 34 directed tuples. *)
+        check_int "34 tuples" 34 (Structure.total_tuples (Workloads.grid 3 4)));
+    Alcotest.test_case "complete bipartite is 2-colorable" `Quick (fun () ->
+        check "K33 -> K2" true
+          (Homomorphism.exists (Workloads.complete_bipartite 3 3) Workloads.k2));
+  ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Hell-Nesetril dichotomy for graph targets                            *)
+(* ------------------------------------------------------------------ *)
+
+let graph_dichotomy_tests =
+  [
+    Alcotest.test_case "recognition" `Quick (fun () ->
+        check "K3 is a graph" true (Graph_dichotomy.is_undirected_graph (Workloads.clique 3));
+        check "directed C3 is not" false
+          (Graph_dichotomy.is_undirected_graph (Workloads.directed_cycle 3));
+        check "paths are directed" false (Graph_dichotomy.is_undirected_graph (Workloads.path 3)));
+    Alcotest.test_case "complexity verdicts" `Quick (fun () ->
+        check "K2 poly" true (Graph_dichotomy.complexity Workloads.k2 = Graph_dichotomy.Polynomial);
+        check "C6 poly" true
+          (Graph_dichotomy.complexity (Workloads.undirected_cycle 6) = Graph_dichotomy.Polynomial);
+        check "K3 np-complete" true
+          (Graph_dichotomy.complexity (Workloads.clique 3) = Graph_dichotomy.Np_complete);
+        check "C5 np-complete" true
+          (Graph_dichotomy.complexity (Workloads.undirected_cycle 5) = Graph_dichotomy.Np_complete);
+        let loopy =
+          Structure.of_relations Workloads.graph_vocab ~size:3
+            [ ("E", [ [| 0; 1 |]; [| 1; 0 |]; [| 2; 2 |] ]) ]
+        in
+        check "loop rescues K3-free" true
+          (Graph_dichotomy.complexity loopy = Graph_dichotomy.Polynomial));
+    Alcotest.test_case "solve: loop target absorbs everything" `Quick (fun () ->
+        let loopy =
+          Structure.of_relations Workloads.graph_vocab ~size:1 [ ("E", [ [| 0; 0 |] ]) ]
+        in
+        match Graph_dichotomy.solve (Workloads.undirected_cycle 5) loopy with
+        | Some h ->
+          check "valid" true
+            (Homomorphism.is_homomorphism (Workloads.undirected_cycle 5) loopy h)
+        | None -> Alcotest.fail "expected hom");
+    Alcotest.test_case "solve: bipartite target = 2-colorability" `Quick (fun () ->
+        let c6 = Workloads.undirected_cycle 6 in
+        let target = Workloads.complete_bipartite 2 3 in
+        (match Graph_dichotomy.solve c6 target with
+        | Some h -> check "valid" true (Homomorphism.is_homomorphism c6 target h)
+        | None -> Alcotest.fail "expected hom");
+        check "odd cycle fails" true
+          (Graph_dichotomy.solve (Workloads.undirected_cycle 5) target = None));
+    Alcotest.test_case "solve: NP-complete target rejected" `Quick (fun () ->
+        check "raises" true
+          (try
+             ignore (Graph_dichotomy.solve Workloads.k2 (Workloads.clique 3));
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "solver picks the graph route" `Quick (fun () ->
+        let r = Solver.solve (Workloads.undirected_cycle 8) (Workloads.complete_bipartite 3 3) in
+        match r.Solver.route with
+        | Solver.Graph_target Graph_dichotomy.Polynomial ->
+          check "answer" true (r.Solver.answer <> None)
+        | rt -> Alcotest.fail ("unexpected route " ^ Solver.route_name rt));
+    qtest ~count:150 "dichotomy solve agrees with brute force on tractable graphs"
+      (QCheck.make
+         ~print:(fun (a, b) ->
+           Format.asprintf "A = %a@.B = %a" Structure.pp a Structure.pp b)
+         QCheck.Gen.(
+           let* seed = 0 -- 10000 in
+           let* n = 1 -- 5 in
+           let* p = float_bound_inclusive 0.7 in
+           let a = Workloads.erdos_renyi ~seed ~n ~p in
+           (* Tractable targets: random bipartite graph or a loopy graph. *)
+           let* which = bool in
+           let b =
+             if which then Workloads.complete_bipartite 2 2
+             else
+               Structure.of_relations Workloads.graph_vocab ~size:2
+                 [ ("E", [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |] ]) ]
+           in
+           return (a, b)))
+      (fun (a, b) ->
+        match Graph_dichotomy.solve a b with
+        | Some h -> Homomorphism.is_homomorphism a b h && brute_force_exists a b
+        | None -> not (brute_force_exists a b));
+  ]
+
+let () =
+  Alcotest.run "core"
+    [ ("csp", csp_tests); ("solver", solver_tests); ("workloads", workload_tests);
+      ("graph-dichotomy", graph_dichotomy_tests) ]

@@ -1,0 +1,171 @@
+open Relational
+open Pebble
+open Helpers
+
+let check = Alcotest.(check bool)
+
+let game_tests =
+  [
+    Alcotest.test_case "duplicator wins when a homomorphism exists" `Quick (fun () ->
+        check "C6 vs K2, k=2" true (Game.duplicator_wins ~k:2 (undirected_cycle 6) k2);
+        check "C6 vs K2, k=3" true (Game.duplicator_wins ~k:3 (undirected_cycle 6) k2);
+        check "path vs loop" true
+          (Game.duplicator_wins ~k:2 (path 5) (digraph ~size:1 [ (0, 0) ])));
+    Alcotest.test_case "3 pebbles refute odd cycles vs K2" `Quick (fun () ->
+        check "C5" true (Game.spoiler_wins ~k:3 (undirected_cycle 5) k2);
+        check "C7" true (Game.spoiler_wins ~k:3 (undirected_cycle 7) k2);
+        check "C3" true (Game.spoiler_wins ~k:3 (undirected_cycle 3) k2));
+    Alcotest.test_case "2 pebbles are too weak on C5 vs K2" `Quick (fun () ->
+        check "duplicator survives" true (Game.duplicator_wins ~k:2 (undirected_cycle 5) k2));
+    Alcotest.test_case "K4 vs K3: 4 pebbles refute 3-colorability of K4" `Quick (fun () ->
+        check "spoiler wins" true (Game.spoiler_wins ~k:4 (clique 4) (clique 3));
+        (* 2-consistency does NOT refute K4 -> K3: every pair of pebbles can
+           be answered; only 4 pebbles expose the contradiction. *)
+        check "but the duplicator survives k=2" true
+          (Game.duplicator_wins ~k:2 (clique 4) (clique 3)));
+    Alcotest.test_case "empty source: duplicator wins trivially" `Quick (fun () ->
+        let empty = Structure.create graph_vocab ~size:0 in
+        check "wins" true (Game.duplicator_wins ~k:2 empty k2));
+    Alcotest.test_case "empty target: spoiler wins on nonempty source" `Quick (fun () ->
+        let empty = Structure.create graph_vocab ~size:0 in
+        check "spoiler" true (Game.spoiler_wins ~k:2 (path 2) empty));
+    Alcotest.test_case "winning family is restriction-closed and has forth" `Quick (fun () ->
+        let family = Game.winning_family ~k:2 (undirected_cycle 4) k2 in
+        check "nonempty" true (family <> []);
+        check "contains empty config" true (List.mem [] family);
+        (* Restriction-closure. *)
+        check "restrictions present" true
+          (List.for_all
+             (fun config ->
+               List.for_all
+                 (fun (x, _) ->
+                   List.mem (List.filter (fun (y, _) -> y <> x) config) family)
+                 config)
+             family));
+    Alcotest.test_case "stats are reported" `Quick (fun () ->
+        let wins, stats = Game.duplicator_wins_with_stats ~k:2 (undirected_cycle 5) k2 in
+        check "duplicator survives" true wins;
+        check "configs counted" true (stats.Game.initial_configs > 0));
+    Alcotest.test_case "solve is one-sided" `Quick (fun () ->
+        check "refutes" true (Game.solve ~k:3 (undirected_cycle 5) k2 = Some false);
+        check "inconclusive" true (Game.solve ~k:3 (undirected_cycle 6) k2 = None));
+  ]
+
+let property_tests =
+  [
+    qtest ~count:150 "hom existence implies duplicator wins (k=2)"
+      (arbitrary_pair ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
+      (fun (a, b) ->
+        (not (brute_force_exists a b)) || Game.duplicator_wins ~k:2 a b);
+    qtest ~count:60 "hom existence implies duplicator wins (k=3)"
+      (arbitrary_pair ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
+      (fun (a, b) ->
+        (not (brute_force_exists a b)) || Game.duplicator_wins ~k:3 a b);
+    qtest ~count:60 "with k = |A| the game is exact"
+      (arbitrary_pair ~max_size_a:3 ~max_size_b:3 ~max_tuples:4 ())
+      (fun (a, b) ->
+        Game.duplicator_wins ~k:(max 1 (Structure.size a)) a b = brute_force_exists a b);
+    qtest ~count:100 "monotone in k: spoiler win persists as k grows"
+      (arbitrary_pair ~max_size_a:4 ~max_size_b:2 ~max_tuples:4 ())
+      (fun (a, b) ->
+        (not (Game.spoiler_wins ~k:2 a b)) || Game.spoiler_wins ~k:3 a b);
+    qtest ~count:100 "spoiler win refutes homomorphism (soundness, k=2)"
+      (arbitrary_pair ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
+      (fun (a, b) -> (not (Game.spoiler_wins ~k:2 a b)) || not (brute_force_exists a b));
+    qtest ~count:60 "game vs Horn targets: exact at k = max arity"
+      (QCheck.make
+         QCheck.Gen.(
+           let* b = gen_schaefer_structure Schaefer.Classify.Horn in
+           let+ a = gen_source_for b ~max_size:4 ~max_tuples:4 in
+           (a, b)))
+      (fun (a, b) ->
+        (* Theorem 4.9 / Remark 4.10(2): for a k-ary Horn structure B, the
+           complement of CSP(B) is k-Datalog-expressible, so the k-pebble
+           game decides it (k = max arity of B, at least 1). *)
+        let k = max 1 (Vocabulary.max_arity (Structure.vocabulary b)) in
+        Game.duplicator_wins ~k a b = brute_force_exists a b);
+  ]
+
+let monotonicity_tests =
+  [
+    qtest ~count:80 "adding target tuples only helps the duplicator"
+      (arbitrary_pair ~max_rels:1 ~max_arity:2 ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
+      (fun (a, b) ->
+        (* Enrich B with extra random-ish tuples: duplicator can only gain. *)
+        let richer =
+          Structure.fold_tuples
+            (fun name t acc ->
+              let shifted = Array.map (fun x -> (x + 1) mod Structure.size b) t in
+              Structure.add_tuple acc name shifted)
+            b b
+        in
+        (not (Game.duplicator_wins ~k:2 a b)) || Game.duplicator_wins ~k:2 a richer);
+    qtest ~count:60 "winning family shrinks as k grows"
+      (arbitrary_pair ~max_rels:1 ~max_arity:2 ~max_size_a:3 ~max_size_b:2 ~max_tuples:3 ())
+      (fun (a, b) ->
+        (* Every configuration of size <= 2 surviving at k=3 also survives
+           at k=2 (more pebbles demand more). *)
+        let f2 = Game.winning_family ~k:2 a b in
+        let f3 = Game.winning_family ~k:3 a b in
+        List.for_all
+          (fun config -> List.length config > 2 || List.mem config f2)
+          f3);
+  ]
+
+let strategy_tests =
+  [
+    Alcotest.test_case "no strategy when the spoiler wins" `Quick (fun () ->
+        check "none" true (Game.strategy ~k:3 (undirected_cycle 5) k2 = None));
+    Alcotest.test_case "strategy answers a scripted attack" `Quick (fun () ->
+        match Game.strategy ~k:2 (undirected_cycle 6) k2 with
+        | None -> Alcotest.fail "expected a strategy"
+        | Some s ->
+          check "empty config is in the family" true (Game.member s []);
+          (match Game.respond s [] 0 with
+          | None -> Alcotest.fail "expected a response"
+          | Some b0 ->
+            let cfg = [ (0, b0) ] in
+            check "position still winning" true (Game.member s cfg);
+            (match Game.respond s cfg 1 with
+            | None -> Alcotest.fail "expected a response to the neighbour"
+            | Some b1 -> check "proper colouring" true (b0 <> b1))));
+    qtest ~count:50 "random play never strands a winning duplicator"
+      (arbitrary_pair ~max_rels:1 ~max_arity:2 ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
+      (fun (a, b) ->
+        match Game.strategy ~k:2 a b with
+        | None -> true
+        | Some s ->
+          let st = Random.State.make [| Structure.size a; Structure.size b |] in
+          let n = Structure.size a in
+          let config = ref [] in
+          let ok = ref true in
+          for _ = 1 to 12 do
+            if !ok && n > 0 then begin
+              (* Spoiler removes a pebble when full, then pebbles an element
+                 outside the current domain. *)
+              if List.length !config >= 2 then begin
+                let drop = fst (List.nth !config (Random.State.int st 2)) in
+                config := List.filter (fun (x, _) -> x <> drop) !config
+              end;
+              let free =
+                List.filter
+                  (fun x -> not (List.mem_assoc x !config))
+                  (Structure.universe a)
+              in
+              if free <> [] then begin
+                let x = List.nth free (Random.State.int st (List.length free)) in
+                match Game.respond s !config x with
+                | None -> ok := false
+                | Some v ->
+                  config := List.sort compare ((x, v) :: !config);
+                  if not (Game.member s !config) then ok := false
+              end
+            end
+          done;
+          !ok);
+  ]
+
+let () =
+  Alcotest.run "pebble"
+    [ ("game", game_tests); ("properties", property_tests);
+      ("monotonicity", monotonicity_tests); ("strategy", strategy_tests) ]
