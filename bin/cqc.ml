@@ -3,84 +3,184 @@
      cqc contain 'Q(X) :- E(X,Y), E(Y,Z).' 'Q(X) :- E(X,Y).'
      cqc minimize 'Q(X) :- E(X,Y), E(X,Z).'
      cqc evaluate 'Q(X,Y) :- E(X,Z), E(Z,Y).' graph.st
-     cqc solve source.st target.st
+     cqc solve [--max-nodes N] [--timeout S] source.st target.st
      cqc classify target.st
      cqc treewidth source.st
 
-   Structures are given in the Structure_text format (see --help). *)
+   Structures are given in the Structure_text format (see --help).
+
+   Exit codes (the Core.Error contract): 0 success, 2 bad input,
+   3 unsupported, 4 budget exhausted (answer unknown), 5 internal error.
+   Malformed inputs exit with a located message, never a backtrace. *)
 
 open Cmdliner
+
+(* Every command body runs inside [run]: structured errors print one line
+   on stderr and map to their documented exit code. *)
+let run f =
+  match Core.Error.guard f with
+  | Ok code -> code
+  | Error e ->
+    Printf.eprintf "cqc: %s\n%!" (Core.Error.to_string e);
+    Core.Error.exit_code e
 
 let read_structure path =
   let text =
     if path = "-" then In_channel.input_all In_channel.stdin
     else In_channel.with_open_text path In_channel.input_all
   in
-  Relational.Structure_text.parse text
+  match Relational.Structure_text.parse text with
+  | s -> s
+  | exception Relational.Structure_text.Parse_error (pos, msg) ->
+    Core.Error.bad_input "%s: %s: %s" path (Relational.Source_position.to_string pos)
+      msg
 
-let query_conv =
-  let parse s =
-    match Cq.Parser.parse s with
-    | q -> Ok q
-    | exception Cq.Parser.Parse_error msg -> Error (`Msg ("bad query: " ^ msg))
-  in
-  Arg.conv (parse, Cq.Query.pp)
+let parse_query text =
+  match Cq.Parser.parse text with
+  | q -> q
+  | exception Cq.Parser.Parse_error (pos, msg) ->
+    Core.Error.bad_input "bad query at %s: %s"
+      (Relational.Source_position.to_string pos)
+      msg
 
-let structure_conv =
-  let parse path =
-    match read_structure path with
-    | s -> Ok s
-    | exception Relational.Structure_text.Parse_error msg ->
-      Error (`Msg (Printf.sprintf "%s: %s" path msg))
-    | exception Sys_error msg -> Error (`Msg msg)
-  in
-  Arg.conv (parse, fun ppf s -> Relational.Structure.pp ppf s)
+let query_arg ~docv pos_index =
+  Arg.(required & pos pos_index (some string) None & info [] ~docv)
+
+let structure_arg ~docv pos_index =
+  Arg.(required & pos pos_index (some string) None & info [] ~docv)
+
+(* ------------------------------------------------------------------ *)
+(* Budget flags                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let max_nodes_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-nodes" ] ~docv:"N"
+        ~doc:
+          "Abort any single solving route after $(docv) search nodes; the \
+           dispatcher degrades to the next route and answers 'unknown' (exit \
+           code 4) only when every route is exhausted.")
+
+let timeout_term =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock deadline for the whole solve, in seconds (may be \
+           fractional).  On expiry the answer is 'unknown' (exit code 4).")
+
+let budget_of ~max_nodes ~timeout =
+  match (max_nodes, timeout) with
+  | None, None -> Core.Budget.unlimited
+  | _ -> Core.Budget.create ?max_nodes ?timeout ()
+
+let print_attempts attempts =
+  List.iter
+    (fun { Core.Solver.route; nodes; outcome } ->
+      let outcome =
+        match outcome with
+        | Core.Solver.Decided -> "decided"
+        | Core.Solver.Pruned -> "pruned domains"
+        | Core.Solver.Exhausted reason ->
+          "exhausted: " ^ Relational.Budget.reason_to_string reason
+        | Core.Solver.Inapplicable -> "inapplicable"
+      in
+      Format.printf "  %-32s %8d nodes  %s@." (Core.Solver.route_name route) nodes
+        outcome)
+    attempts
+
+(* The exit code a three-valued verdict maps to: definite answers exit 0,
+   [Unknown] exits with the budget-exhausted code. *)
+let verdict_exit = function
+  | Relational.Budget.Sat _ | Relational.Budget.Unsat -> 0
+  | Relational.Budget.Unknown reason ->
+    Core.Error.exit_code (Core.Error.Budget_exhausted reason)
+
+(* The Core.Error exit-code contract, shown in every subcommand's man
+   page in place of cmdliner's defaults. *)
+let exits =
+  Cmd.Exit.info 0 ~doc:"on success ('sat' and 'unsat' are both answers)."
+  :: Cmd.Exit.info 2
+       ~doc:
+         "on malformed input: bad query/structure text (with line/column), \
+          violated precondition, unreadable file."
+  :: Cmd.Exit.info 3
+       ~doc:"when the input is outside the requested algorithm's capabilities."
+  :: Cmd.Exit.info 4
+       ~doc:"when every route exhausted its budget; the answer is unknown, not wrong."
+  :: Cmd.Exit.info 5 ~doc:"on an internal error (a bug in this code base)."
+  :: List.filter (fun i -> Cmd.Exit.info_code i >= 124) Cmd.Exit.defaults
 
 (* ------------------------------------------------------------------ *)
 
-let contain q1 q2 =
-  let yes, route = Core.Solver.solve_containment q1 q2 in
-  Format.printf "Q1 <= Q2: %b  (route: %s)@." yes (Core.Solver.route_name route);
-  if yes then
-    match Cq.Containment.containment_witness q1 q2 with
-    | Some w ->
-      Format.printf "witness: %a@."
-        (Format.pp_print_list
-           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
-           (fun ppf (v, x) -> Format.fprintf ppf "%s->%s" v x))
-        w
-    | None -> ()
+let contain max_nodes timeout q1 q2 =
+  run (fun () ->
+      let q1 = parse_query q1 and q2 = parse_query q2 in
+      let budget = budget_of ~max_nodes ~timeout in
+      let r = Core.Solver.solve_containment ~budget q1 q2 in
+      (match r.Core.Solver.verdict with
+      | Relational.Budget.Sat _ ->
+        Format.printf "Q1 <= Q2: true  (route: %s)@."
+          (Core.Solver.route_name r.Core.Solver.route);
+        (match Cq.Containment.containment_witness q1 q2 with
+        | Some w ->
+          Format.printf "witness: %a@."
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+               (fun ppf (v, x) -> Format.fprintf ppf "%s->%s" v x))
+            w
+        | None -> ())
+      | Relational.Budget.Unsat ->
+        Format.printf "Q1 <= Q2: false  (route: %s)@."
+          (Core.Solver.route_name r.Core.Solver.route)
+      | Relational.Budget.Unknown reason ->
+        Format.printf "Q1 <= Q2: unknown  (budget exhausted: %s)@."
+          (Relational.Budget.reason_to_string reason);
+        print_attempts r.Core.Solver.attempts);
+      verdict_exit r.Core.Solver.verdict)
 
 let contain_cmd =
-  let q1 = Arg.(required & pos 0 (some query_conv) None & info [] ~docv:"Q1") in
-  let q2 = Arg.(required & pos 1 (some query_conv) None & info [] ~docv:"Q2") in
   Cmd.v
-    (Cmd.info "contain" ~doc:"Decide conjunctive-query containment Q1 <= Q2")
-    Term.(const contain $ q1 $ q2)
+    (Cmd.info "contain" ~exits ~doc:"Decide conjunctive-query containment Q1 <= Q2")
+    Term.(
+      const contain $ max_nodes_term $ timeout_term $ query_arg ~docv:"Q1" 0
+      $ query_arg ~docv:"Q2" 1)
 
 let minimize q =
-  let m = Cq.Containment.minimize q in
-  Format.printf "%a@." Cq.Query.pp m;
-  Format.printf "joins removed: %d@." (Cq.Query.atom_count q - Cq.Query.atom_count m)
+  run (fun () ->
+      let q = parse_query q in
+      let m = Cq.Containment.minimize q in
+      Format.printf "%a@." Cq.Query.pp m;
+      Format.printf "joins removed: %d@." (Cq.Query.atom_count q - Cq.Query.atom_count m);
+      0)
 
 let minimize_cmd =
-  let q = Arg.(required & pos 0 (some query_conv) None & info [] ~docv:"Q") in
   Cmd.v
-    (Cmd.info "minimize" ~doc:"Minimize a conjunctive query (compute its core)")
-    Term.(const minimize $ q)
+    (Cmd.info "minimize" ~exits ~doc:"Minimize a conjunctive query (compute its core)")
+    Term.(const minimize $ query_arg ~docv:"Q" 0)
 
 let evaluate engine q db =
-  let answers =
-    match engine with
-    | `Hom -> Cq.Containment.evaluate q db
-    | `Spj -> Cq.Algebra.evaluate_query q db
-    | `Yannakakis -> Cq.Acyclic.evaluate q db
-    | `Auto ->
-      if Cq.Acyclic.is_acyclic q then Cq.Acyclic.evaluate q db
-      else Cq.Containment.evaluate q db
-  in
-  Format.printf "%d answer(s)@." (List.length answers);
-  List.iter (fun t -> Format.printf "  %a@." Relational.Tuple.pp t) answers
+  run (fun () ->
+      let q = parse_query q in
+      let db = read_structure db in
+      if engine = `Yannakakis && not (Cq.Acyclic.is_acyclic q) then
+        Core.Error.unsupported
+          "the Yannakakis engine requires an acyclic query body (try --engine auto)";
+      let answers =
+        match engine with
+        | `Hom -> Cq.Containment.evaluate q db
+        | `Spj -> Cq.Algebra.evaluate_query q db
+        | `Yannakakis -> Cq.Acyclic.evaluate q db
+        | `Auto ->
+          if Cq.Acyclic.is_acyclic q then Cq.Acyclic.evaluate q db
+          else Cq.Containment.evaluate q db
+      in
+      Format.printf "%d answer(s)@." (List.length answers);
+      List.iter (fun t -> Format.printf "  %a@." Relational.Tuple.pp t) answers;
+      0)
 
 let evaluate_cmd =
   let engine =
@@ -93,139 +193,168 @@ let evaluate_cmd =
           ~doc:
             "Evaluation engine: auto (Yannakakis when acyclic), hom              (homomorphism enumeration), spj (compiled algebra plan),              yannakakis.")
   in
-  let q = Arg.(required & pos 0 (some query_conv) None & info [] ~docv:"Q") in
-  let db = Arg.(required & pos 1 (some structure_conv) None & info [] ~docv:"DB") in
   Cmd.v
-    (Cmd.info "evaluate" ~doc:"Evaluate a conjunctive query on a structure")
-    Term.(const evaluate $ engine $ q $ db)
+    (Cmd.info "evaluate" ~exits ~doc:"Evaluate a conjunctive query on a structure")
+    Term.(const evaluate $ engine $ query_arg ~docv:"Q" 0 $ structure_arg ~docv:"DB" 1)
 
-let solve a b =
-  let r = Core.Solver.solve a b in
-  Format.printf "route: %s@." (Core.Solver.route_name r.Core.Solver.route);
-  match r.Core.Solver.answer with
-  | Some h -> Format.printf "homomorphism: %a@." Relational.Tuple.pp h
-  | None -> Format.printf "no homomorphism@."
+let solve max_nodes timeout a b =
+  run (fun () ->
+      let a = read_structure a and b = read_structure b in
+      let budget = budget_of ~max_nodes ~timeout in
+      let r = Core.Solver.solve ~budget a b in
+      Format.printf "route: %s@." (Core.Solver.route_name r.Core.Solver.route);
+      (match r.Core.Solver.verdict with
+      | Relational.Budget.Sat h ->
+        Format.printf "homomorphism: %a@." Relational.Tuple.pp h
+      | Relational.Budget.Unsat -> Format.printf "no homomorphism@."
+      | Relational.Budget.Unknown reason ->
+        Format.printf "unknown (budget exhausted: %s)@."
+          (Relational.Budget.reason_to_string reason);
+        print_attempts r.Core.Solver.attempts);
+      verdict_exit r.Core.Solver.verdict)
 
 let solve_cmd =
-  let a = Arg.(required & pos 0 (some structure_conv) None & info [] ~docv:"SOURCE") in
-  let b = Arg.(required & pos 1 (some structure_conv) None & info [] ~docv:"TARGET") in
   Cmd.v
-    (Cmd.info "solve"
+    (Cmd.info "solve" ~exits
        ~doc:"Decide the existence of a homomorphism SOURCE -> TARGET (CSP)")
-    Term.(const solve $ a $ b)
+    Term.(
+      const solve $ max_nodes_term $ timeout_term $ structure_arg ~docv:"SOURCE" 0
+      $ structure_arg ~docv:"TARGET" 1)
 
 let classify b =
-  if Relational.Structure.size b <> 2 then
-    Format.printf "not a Boolean structure (universe size %d)@."
-      (Relational.Structure.size b)
-  else begin
-    let classes = Schaefer.Classify.structure_classes b in
-    (match classes with
-    | [] ->
-      Format.printf "Schaefer classes: none@.";
-      Format.printf "verdict: CSP(B) is NP-complete (Schaefer's dichotomy)@."
-    | cs ->
-      Format.printf "Schaefer classes: %s@."
-        (String.concat ", " (List.map Schaefer.Classify.class_name cs));
-      Format.printf "verdict: CSP(B) is solvable in polynomial time@.");
-    List.iter
-      (fun (name, r) ->
-        Format.printf "  %s: via closure tests {%s}, via polymorphisms {%s}@." name
-          (String.concat ", "
-             (List.map Schaefer.Classify.class_name (Schaefer.Classify.relation_classes r)))
-          (String.concat ", "
-             (List.map Schaefer.Classify.class_name
-                (Schaefer.Polymorphism.classes_via_polymorphisms r))))
-      (Schaefer.Classify.boolean_relations b)
-  end
+  run (fun () ->
+      let b = read_structure b in
+      if Relational.Structure.size b <> 2 then
+        Core.Error.unsupported
+          "classification requires a Boolean structure (universe size 2, got %d)"
+          (Relational.Structure.size b);
+      let classes = Schaefer.Classify.structure_classes b in
+      (match classes with
+      | [] ->
+        Format.printf "Schaefer classes: none@.";
+        Format.printf "verdict: CSP(B) is NP-complete (Schaefer's dichotomy)@."
+      | cs ->
+        Format.printf "Schaefer classes: %s@."
+          (String.concat ", " (List.map Schaefer.Classify.class_name cs));
+        Format.printf "verdict: CSP(B) is solvable in polynomial time@.");
+      List.iter
+        (fun (name, r) ->
+          Format.printf "  %s: via closure tests {%s}, via polymorphisms {%s}@." name
+            (String.concat ", "
+               (List.map Schaefer.Classify.class_name (Schaefer.Classify.relation_classes r)))
+            (String.concat ", "
+               (List.map Schaefer.Classify.class_name
+                  (Schaefer.Polymorphism.classes_via_polymorphisms r))))
+        (Schaefer.Classify.boolean_relations b);
+      0)
 
 let classify_cmd =
-  let b = Arg.(required & pos 0 (some structure_conv) None & info [] ~docv:"TARGET") in
   Cmd.v
-    (Cmd.info "classify"
+    (Cmd.info "classify" ~exits
        ~doc:"Classify a Boolean structure in Schaefer's dichotomy")
-    Term.(const classify $ b)
+    Term.(const classify $ structure_arg ~docv:"TARGET" 0)
 
 let treewidth a =
-  let g =
-    Treewidth.Graph.of_edges
-      ~size:(Relational.Structure.size a)
-      (Relational.Structure.gaifman_edges a)
-  in
-  Format.printf "universe: %d, facts: %d@." (Relational.Structure.size a)
-    (Relational.Structure.total_tuples a);
-  Format.printf "acyclic (GYO): %b@." (Treewidth.Hypergraph.is_acyclic a);
-  Format.printf "Gaifman treewidth <= %d (min-fill heuristic)@."
-    (Treewidth.Elimination.treewidth_upper_bound g);
-  if Treewidth.Graph.size g <= 16 then
-    Format.printf "Gaifman treewidth = %d (exact)@."
-      (Treewidth.Elimination.treewidth_exact g);
-  Format.printf "incidence treewidth <= %d@." (Treewidth.Incidence.treewidth_upper a)
+  run (fun () ->
+      let a = read_structure a in
+      let g =
+        Treewidth.Graph.of_edges
+          ~size:(Relational.Structure.size a)
+          (Relational.Structure.gaifman_edges a)
+      in
+      Format.printf "universe: %d, facts: %d@." (Relational.Structure.size a)
+        (Relational.Structure.total_tuples a);
+      Format.printf "acyclic (GYO): %b@." (Treewidth.Hypergraph.is_acyclic a);
+      Format.printf "Gaifman treewidth <= %d (min-fill heuristic)@."
+        (Treewidth.Elimination.treewidth_upper_bound g);
+      if Treewidth.Graph.size g <= 16 then
+        Format.printf "Gaifman treewidth = %d (exact)@."
+          (Treewidth.Elimination.treewidth_exact g);
+      Format.printf "incidence treewidth <= %d@." (Treewidth.Incidence.treewidth_upper a);
+      0)
 
 let treewidth_cmd =
-  let a = Arg.(required & pos 0 (some structure_conv) None & info [] ~docv:"SOURCE") in
   Cmd.v
-    (Cmd.info "treewidth" ~doc:"Report width measures of a structure")
-    Term.(const treewidth $ a)
+    (Cmd.info "treewidth" ~exits ~doc:"Report width measures of a structure")
+    Term.(const treewidth $ structure_arg ~docv:"SOURCE" 0)
 
-let count a b = Format.printf "#hom = %d@." (Treewidth.Td_solver.count a b)
+let count max_nodes timeout a b =
+  run (fun () ->
+      let a = read_structure a and b = read_structure b in
+      let budget = budget_of ~max_nodes ~timeout in
+      match Treewidth.Td_solver.count ~budget a b with
+      | n ->
+        Format.printf "#hom = %d@." n;
+        0
+      | exception Relational.Budget.Exhausted reason ->
+        Format.printf "unknown (budget exhausted: %s)@."
+          (Relational.Budget.reason_to_string reason);
+        Core.Error.exit_code (Core.Error.Budget_exhausted reason))
 
 let count_cmd =
-  let a = Arg.(required & pos 0 (some structure_conv) None & info [] ~docv:"SOURCE") in
-  let b = Arg.(required & pos 1 (some structure_conv) None & info [] ~docv:"TARGET") in
   Cmd.v
-    (Cmd.info "count"
+    (Cmd.info "count" ~exits
        ~doc:"Count homomorphisms SOURCE -> TARGET (treewidth dynamic programming)")
-    Term.(const count $ a $ b)
+    Term.(
+      const count $ max_nodes_term $ timeout_term $ structure_arg ~docv:"SOURCE" 0
+      $ structure_arg ~docv:"TARGET" 1)
 
 let game k a b =
-  let wins, stats = Pebble.Game.duplicator_wins_with_stats ~k a b in
-  Format.printf "existential %d-pebble game: %s wins@." k
-    (if wins then "the Duplicator" else "the Spoiler");
-  Format.printf "partial homomorphisms: %d generated, %d pruned@."
-    stats.Pebble.Game.initial_configs stats.Pebble.Game.removed;
-  if not wins then Format.printf "consequence: no homomorphism SOURCE -> TARGET@."
-  else Format.printf "consequence: inconclusive (a homomorphism may or may not exist)@."
+  run (fun () ->
+      let a = read_structure a and b = read_structure b in
+      let wins, stats = Pebble.Game.duplicator_wins_with_stats ~k a b in
+      Format.printf "existential %d-pebble game: %s wins@." k
+        (if wins then "the Duplicator" else "the Spoiler");
+      Format.printf "partial homomorphisms: %d generated, %d pruned@."
+        stats.Pebble.Game.initial_configs stats.Pebble.Game.removed;
+      if not wins then Format.printf "consequence: no homomorphism SOURCE -> TARGET@."
+      else
+        Format.printf
+          "consequence: inconclusive (a homomorphism may or may not exist)@.";
+      0)
 
 let game_cmd =
   let k =
     Arg.(value & opt int 2 & info [ "k"; "pebbles" ] ~docv:"K" ~doc:"Number of pebbles.")
   in
-  let a = Arg.(required & pos 0 (some structure_conv) None & info [] ~docv:"SOURCE") in
-  let b = Arg.(required & pos 1 (some structure_conv) None & info [] ~docv:"TARGET") in
   Cmd.v
-    (Cmd.info "game"
+    (Cmd.info "game" ~exits
        ~doc:"Play the existential k-pebble game (strong k-consistency)")
-    Term.(const game $ k $ a $ b)
+    Term.(
+      const game $ k $ structure_arg ~docv:"SOURCE" 0 $ structure_arg ~docv:"TARGET" 1)
 
 let fo_check formula_text a =
-  match Folog.Fo_parser.parse formula_text with
-  | exception Folog.Fo_parser.Parse_error msg ->
-    Format.printf "parse error: %s@." msg;
-    exit 1
-  | f ->
-    Format.printf "formula: %a  (width %d%s)@." Folog.Formula.pp f (Folog.Formula.width f)
-      (if Folog.Formula.is_existential_positive f then ", existential positive" else "");
-    if Folog.Formula.is_sentence f then
-      Format.printf "holds: %b@." (Folog.Fo_eval.holds a f)
-    else begin
-      let table = Folog.Fo_eval.eval a f in
-      Format.printf "free variables: %s@."
-        (String.concat ", " (Array.to_list table.Folog.Fo_eval.vars));
-      Format.printf "%d satisfying assignment(s)@."
-        (List.length table.Folog.Fo_eval.rows);
-      List.iter
-        (fun row -> Format.printf "  %a@." Relational.Tuple.pp row)
-        table.Folog.Fo_eval.rows
-    end
+  run (fun () ->
+      let a = read_structure a in
+      let f =
+        match Folog.Fo_parser.parse formula_text with
+        | f -> f
+        | exception Folog.Fo_parser.Parse_error msg ->
+          Core.Error.bad_input "bad formula: %s" msg
+      in
+      Format.printf "formula: %a  (width %d%s)@." Folog.Formula.pp f
+        (Folog.Formula.width f)
+        (if Folog.Formula.is_existential_positive f then ", existential positive" else "");
+      (if Folog.Formula.is_sentence f then
+         Format.printf "holds: %b@." (Folog.Fo_eval.holds a f)
+       else begin
+         let table = Folog.Fo_eval.eval a f in
+         Format.printf "free variables: %s@."
+           (String.concat ", " (Array.to_list table.Folog.Fo_eval.vars));
+         Format.printf "%d satisfying assignment(s)@."
+           (List.length table.Folog.Fo_eval.rows);
+         List.iter
+           (fun row -> Format.printf "  %a@." Relational.Tuple.pp row)
+           table.Folog.Fo_eval.rows
+       end);
+      0)
 
 let check_cmd =
   let f = Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA") in
-  let a = Arg.(required & pos 1 (some structure_conv) None & info [] ~docv:"STRUCTURE") in
   Cmd.v
-    (Cmd.info "check"
+    (Cmd.info "check" ~exits
        ~doc:"Evaluate a first-order formula on a structure (bounded-variable model checking)")
-    Term.(const fo_check $ f $ a)
+    Term.(const fo_check $ f $ structure_arg ~docv:"STRUCTURE" 1)
 
 let main =
   let doc = "conjunctive-query containment and constraint satisfaction" in
@@ -243,10 +372,16 @@ let main =
             "Structures are text files: a 'size N' line, optional 'rel NAME ARITY' \
              declarations, then one 'NAME e1 e2 ...' line per fact. '#' starts a \
              comment. Use '-' for stdin.";
+          `S "EXIT STATUS";
+          `P
+            "0 on success; 2 on malformed input (bad query/structure text, \
+             violated precondition); 3 when the input is outside the requested \
+             algorithm's capabilities; 4 when a budget was exhausted and the \
+             answer is unknown; 5 on an internal error.";
         ]
   in
   Cmd.group info_
     [ contain_cmd; minimize_cmd; evaluate_cmd; solve_cmd; classify_cmd; treewidth_cmd;
       count_cmd; game_cmd; check_cmd ]
 
-let () = exit (Cmd.eval main)
+let () = exit (Cmd.eval' main)

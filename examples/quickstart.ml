@@ -60,7 +60,7 @@ let () =
   let print_route a b =
     let r = Core.Solver.solve a b in
     Format.printf "route %-28s answer %b@." (Core.Solver.route_name r.Core.Solver.route)
-      (r.Core.Solver.answer <> None)
+      (Core.Solver.answer r <> None)
   in
   print_route c8 c4;
   print_route (Core.Workloads.path 10) (Core.Workloads.clique 3);

@@ -74,7 +74,7 @@ let () =
   let r = Core.Solver.solve a b in
   Format.printf "unified solver falls back to: %s (answer: %s)@."
     (Core.Solver.route_name r.Core.Solver.route)
-    (match r.Core.Solver.answer with Some _ -> "sat" | None -> "unsat");
+    (match Core.Solver.answer r with Some _ -> "sat" | None -> "unsat");
 
   Format.printf "@.== Booleanization in action (Lemma 3.5 / Example 3.7) ==@.@.";
   let k2 = Core.Workloads.k2 in

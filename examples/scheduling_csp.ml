@@ -55,7 +55,7 @@ let () =
 
   let r = Solver.solve a b in
   Format.printf "route chosen: %s@.@." (Solver.route_name r.Solver.route);
-  (match r.Solver.answer with
+  (match Solver.answer r with
   | Some h ->
     Array.iteri
       (fun course slot -> Format.printf "  %-10s -> %s@." courses.(course) slots.(slot))
@@ -89,5 +89,5 @@ let () =
   let a, b = Csp.to_homomorphism impossible in
   let r = Solver.solve ~consistency_k:5 a b in
   Format.printf "7 mutually-conflicting courses into 4 slots: %s (route %s)@."
-    (match r.Solver.answer with Some _ -> "schedulable" | None -> "impossible")
+    (match Solver.answer r with Some _ -> "schedulable" | None -> "impossible")
     (Solver.route_name r.Solver.route)

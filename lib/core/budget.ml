@@ -1,0 +1,3 @@
+(* Re-export of the base-layer budget so users of the dispatcher can write
+   [Core.Budget.create] without reaching below [Core]. *)
+include Relational.Budget

@@ -1,0 +1,7 @@
+(** Alias for {!Relational.Budget}: resource budgets (node limits,
+    wall-clock deadlines, cooperative cancellation) shared by every layer
+    of the solver stack.  See that module for the full documentation. *)
+
+include module type of struct
+  include Relational.Budget
+end

@@ -1,0 +1,52 @@
+type t =
+  | Bad_input of string
+  | Unsupported of string
+  | Budget_exhausted of Relational.Budget.exhausted_reason
+  | Internal of string
+
+exception Error of t
+
+let bad_input fmt = Format.kasprintf (fun msg -> raise (Error (Bad_input msg))) fmt
+
+let unsupported fmt = Format.kasprintf (fun msg -> raise (Error (Unsupported msg))) fmt
+
+let internal fmt = Format.kasprintf (fun msg -> raise (Error (Internal msg))) fmt
+
+let located what { Relational.Source_position.line; col } msg =
+  Printf.sprintf "%s at line %d, column %d: %s" what line col msg
+
+let of_exn = function
+  | Error e -> Some e
+  | Relational.Structure_text.Parse_error (pos, msg) ->
+    Some (Bad_input (located "bad structure" pos msg))
+  | Cq.Parser.Parse_error (pos, msg) -> Some (Bad_input (located "bad query" pos msg))
+  | Datalog.Parser.Parse_error msg -> Some (Bad_input ("bad program: " ^ msg))
+  | Folog.Fo_parser.Parse_error msg -> Some (Bad_input ("bad formula: " ^ msg))
+  | Relational.Budget.Exhausted reason -> Some (Budget_exhausted reason)
+  | Invalid_argument msg -> Some (Bad_input msg)
+  | Sys_error msg -> Some (Bad_input msg)
+  | Failure msg -> Some (Internal msg)
+  | Not_found -> Some (Internal "Not_found escaped")
+  | Assert_failure (file, line, _) ->
+    Some (Internal (Printf.sprintf "assertion failed at %s:%d" file line))
+  | _ -> None
+
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception e -> ( match of_exn e with Some t -> Result.Error t | None -> raise e)
+
+let to_string = function
+  | Bad_input msg -> "bad input: " ^ msg
+  | Unsupported msg -> "unsupported: " ^ msg
+  | Budget_exhausted reason ->
+    "budget exhausted (" ^ Relational.Budget.reason_to_string reason ^ ")"
+  | Internal msg -> "internal error (please report): " ^ msg
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let exit_code = function
+  | Bad_input _ -> 2
+  | Unsupported _ -> 3
+  | Budget_exhausted _ -> 4
+  | Internal _ -> 5

@@ -1,0 +1,51 @@
+(** Structured error taxonomy for the whole stack.
+
+    The library layers signal precondition violations with
+    [Invalid_argument], parse failures with their parsers' [Parse_error]
+    exceptions, and budget exhaustion with {!Budget.Exhausted}.  This
+    module folds all of them into one sum so front ends ([bin/cqc.ml], a
+    future service) can map every failure to a distinct, documented exit
+    code instead of dying with a raw backtrace.
+
+    Exit-code contract (used by [cqc]):
+    - [0] — success;
+    - [2] — {!Bad_input}: malformed query/structure text, violated
+      precondition, unreadable file;
+    - [3] — {!Unsupported}: the input is well-formed but outside the
+      capabilities of the requested algorithm;
+    - [4] — {!Budget_exhausted}: every route ran out of budget; the answer
+      is [Unknown], not wrong;
+    - [5] — {!Internal}: a bug in this code base.  Please report it. *)
+
+type t =
+  | Bad_input of string
+  | Unsupported of string
+  | Budget_exhausted of Relational.Budget.exhausted_reason
+  | Internal of string
+
+exception Error of t
+
+val bad_input : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Error} with a formatted {!Bad_input}. *)
+
+val unsupported : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val internal : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val of_exn : exn -> t option
+(** Classify an exception raised by any library layer: parse errors and
+    [Invalid_argument] become {!Bad_input}, [Budget.Exhausted] becomes
+    {!Budget_exhausted}, [Sys_error] becomes {!Bad_input}, [Failure],
+    [Not_found] and [Assert_failure] become {!Internal}; [None] for
+    anything unrecognized (asynchronous exceptions must keep flying). *)
+
+val guard : (unit -> 'a) -> ('a, t) result
+(** Run a thunk, converting every exception recognized by {!of_exn} into
+    [Error]; unrecognized exceptions are re-raised. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val exit_code : t -> int
+(** The documented process exit code for this error class. *)

@@ -19,88 +19,171 @@ let route_name = function
   | Consistency_refutation k -> Printf.sprintf "%d-consistency" k
   | Backtracking -> "backtracking"
 
-type result = { answer : Homomorphism.mapping option; route : route }
+type verdict = Homomorphism.mapping Budget.outcome
 
-let try_schaefer a b =
-  if Structure.size b <> 2 then None
-  else
-    match Schaefer.Classify.classify b with
-    | None -> None
-    | Some cls -> (
-      match Schaefer.Uniform.solve_direct a b with
-      | Schaefer.Uniform.Hom h -> Some { answer = Some h; route = Schaefer_direct cls }
-      | Schaefer.Uniform.No_hom -> Some { answer = None; route = Schaefer_direct cls }
-      | Schaefer.Uniform.Not_applicable _ -> None)
+type attempt_outcome =
+  | Decided
+  | Pruned
+  | Exhausted of Budget.exhausted_reason
+  | Inapplicable
 
-let try_booleanize ~threshold a b =
-  if Structure.size b > threshold || Structure.size b < 1 then None
-  else
-    match Schaefer.Booleanize.solve a b with
-    | Schaefer.Booleanize.Hom h ->
-      let bb = Schaefer.Booleanize.encode_target b in
-      let cls =
+type attempt = { route : route; nodes : int; outcome : attempt_outcome }
+
+type result = { verdict : verdict; route : route; attempts : attempt list }
+
+let answer r = Budget.outcome_to_option r.verdict
+
+let verdict_name = function
+  | Budget.Sat _ -> "sat"
+  | Budget.Unsat -> "unsat"
+  | Budget.Unknown reason ->
+    Printf.sprintf "unknown (%s)" (Budget.reason_to_string reason)
+
+let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
+    ?(budget = Budget.unlimited) a b =
+  let attempts = ref [] in
+  let record route nodes outcome =
+    attempts := { route; nodes; outcome } :: !attempts
+  in
+  let finish verdict route = { verdict; route; attempts = List.rev !attempts } in
+  (* Domain pruning inherited from a non-refuting k-consistency pass. *)
+  let restriction = ref None in
+  (* One intermediate route's share of the remaining node allowance;
+     backtracking, last in line, gets everything left. *)
+  let slice_for frac =
+    match Budget.remaining_nodes budget with
+    | None -> Budget.slice budget ()
+    | Some r -> Budget.slice budget ~max_nodes:(max 1 (r / frac)) ()
+  in
+  (* Run one route under its own budget slice.  [f] answers [Some verdict]
+     when the route decided, [None] when the instance is outside it;
+     budget exhaustion inside the route falls through to the next one. *)
+  let attempt ?frac route f =
+    let s = match frac with None -> Budget.slice budget () | Some k -> slice_for k in
+    match f s with
+    | Some v ->
+      record route (Budget.spent s) Decided;
+      Some (finish v route)
+    | None ->
+      record route (Budget.spent s) Inapplicable;
+      None
+    | exception Budget.Exhausted reason ->
+      record route (Budget.spent s) (Exhausted reason);
+      None
+  in
+  let of_option = function Some h -> Budget.Sat h | None -> Budget.Unsat in
+
+  let try_schaefer () =
+    if Structure.size b <> 2 then None
+    else
+      match Schaefer.Classify.classify b with
+      | None -> None
+      | Some cls ->
+        attempt (Schaefer_direct cls) (fun s ->
+            match Schaefer.Uniform.solve_direct ~budget:s a b with
+            | Schaefer.Uniform.Hom h -> Some (Budget.Sat h)
+            | Schaefer.Uniform.No_hom -> Some Budget.Unsat
+            | Schaefer.Uniform.Not_applicable _ -> None)
+  in
+  let try_graph () =
+    if
+      Graph_dichotomy.is_undirected_graph b
+      && Vocabulary.equal (Structure.vocabulary a) (Structure.vocabulary b)
+      && Graph_dichotomy.complexity b = Graph_dichotomy.Polynomial
+    then
+      attempt (Graph_target Graph_dichotomy.Polynomial) (fun s ->
+          Budget.check s;
+          Some (of_option (Graph_dichotomy.solve a b)))
+    else None
+  in
+  let try_booleanize () =
+    if Structure.size b > booleanize_threshold || Structure.size b < 1 then None
+    else
+      let classify () =
+        let bb = Schaefer.Booleanize.encode_target b in
         Option.value ~default:Schaefer.Classify.Affine (Schaefer.Classify.classify bb)
       in
-      Some { answer = Some h; route = Booleanized cls }
-    | Schaefer.Booleanize.No_hom ->
-      let bb = Schaefer.Booleanize.encode_target b in
-      let cls =
-        Option.value ~default:Schaefer.Classify.Affine (Schaefer.Classify.classify bb)
-      in
-      Some { answer = None; route = Booleanized cls }
-    | Schaefer.Booleanize.Not_schaefer _ -> None
-    | exception Invalid_argument _ -> None
-
-let try_graph a b =
-  if
-    Graph_dichotomy.is_undirected_graph b
-    && Vocabulary.equal (Structure.vocabulary a) (Structure.vocabulary b)
-    && Graph_dichotomy.complexity b = Graph_dichotomy.Polynomial
-  then
-    Some
-      { answer = Graph_dichotomy.solve a b; route = Graph_target Graph_dichotomy.Polynomial }
-  else None
-
-let try_acyclic a b =
-  if Treewidth.Hypergraph.is_acyclic a then
-    Some { answer = Treewidth.Hypergraph.solve_acyclic a b; route = Acyclic }
-  else None
-
-let try_treewidth ~max_treewidth a b =
-  let td = Treewidth.Td_solver.decompose a in
-  let w = Treewidth.Tree_decomposition.width td in
-  if w > max_treewidth then None
-  else
-    Some
-      {
-        answer = Treewidth.Td_solver.solve_with_decomposition td a b;
-        route = Bounded_treewidth w;
-      }
-
-let try_consistency ~k a b =
-  if Pebble.Game.spoiler_wins ~k a b then
-    Some { answer = None; route = Consistency_refutation k }
-  else None
-
-let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4) a b =
+      match Schaefer.Booleanize.solve a b with
+      | Schaefer.Booleanize.Hom h ->
+        attempt (Booleanized (classify ())) (fun _ -> Some (Budget.Sat h))
+      | Schaefer.Booleanize.No_hom ->
+        attempt (Booleanized (classify ())) (fun _ -> Some Budget.Unsat)
+      | Schaefer.Booleanize.Not_schaefer _ -> None
+      | exception Invalid_argument _ -> None
+  in
+  let try_acyclic () =
+    if Treewidth.Hypergraph.is_acyclic a then
+      attempt Acyclic (fun s ->
+          Budget.check s;
+          Some (of_option (Treewidth.Hypergraph.solve_acyclic a b)))
+    else None
+  in
+  let try_treewidth () =
+    match Treewidth.Td_solver.decompose a with
+    | td ->
+      let w = Treewidth.Tree_decomposition.width td in
+      if w > max_treewidth then None
+      else
+        attempt ~frac:4 (Bounded_treewidth w) (fun s ->
+            Some
+              (of_option (Treewidth.Td_solver.solve_with_decomposition ~budget:s td a b)))
+    | exception Budget.Exhausted reason ->
+      record (Bounded_treewidth max_treewidth) 0 (Exhausted reason);
+      None
+  in
+  let try_consistency () =
+    let route = Consistency_refutation consistency_k in
+    let s = slice_for 4 in
+    match Pebble.Game.winning_family ~budget:s ~k:consistency_k a b with
+    | [] ->
+      record route (Budget.spent s) Decided;
+      Some (finish Budget.Unsat route)
+    | family ->
+      (* Sound pruning: a pair [(x, v)] whose singleton configuration was
+         removed from the winning family lies on no homomorphism, so the
+         backtracking route may skip it outright. *)
+      let singles = Hashtbl.create 256 in
+      List.iter
+        (fun cfg ->
+          match cfg with [ (x, v) ] -> Hashtbl.replace singles (x, v) () | _ -> ())
+        family;
+      restriction := Some (fun x v -> Hashtbl.mem singles (x, v));
+      record route (Budget.spent s) Pruned;
+      None
+    | exception Budget.Exhausted reason ->
+      record route (Budget.spent s) (Exhausted reason);
+      None
+  in
+  let backtracking () =
+    let s = Budget.slice budget () in
+    match Homomorphism.decide ?restrict:!restriction ~budget:s a b with
+    | Budget.Unknown reason ->
+      record Backtracking (Budget.spent s) (Exhausted reason);
+      (* Prefer the global cause (deadline/cancellation) when the whole
+         portfolio is spent. *)
+      let reason = match Budget.status budget with Some r -> r | None -> reason in
+      finish (Budget.Unknown reason) Backtracking
+    | v ->
+      record Backtracking (Budget.spent s) Decided;
+      finish v Backtracking
+  in
   let ( <|> ) r f = match r with Some _ -> r | None -> f () in
   let result =
-    try_schaefer a b
-    <|> (fun () -> try_graph a b)
-    <|> (fun () -> try_booleanize ~threshold:booleanize_threshold a b)
-    <|> (fun () -> try_acyclic a b)
-    <|> (fun () -> try_treewidth ~max_treewidth a b)
-    <|> (fun () -> try_consistency ~k:consistency_k a b)
-    <|> fun () -> Some { answer = Homomorphism.find a b; route = Backtracking }
+    try_schaefer ()
+    <|> try_graph
+    <|> try_booleanize
+    <|> try_acyclic
+    <|> try_treewidth
+    <|> try_consistency
   in
-  match result with Some r -> r | None -> assert false
+  match result with Some r -> r | None -> backtracking ()
 
-let exists a b = (solve a b).answer <> None
+let exists a b =
+  match (solve a b).verdict with Budget.Sat _ -> true | _ -> false
 
-let solve_containment q1 q2 =
+let solve_containment ?budget q1 q2 =
   if Cq.Query.arity q1 <> Cq.Query.arity q2 then
     invalid_arg "Solver.solve_containment: head arities differ";
   let d1, _ = Cq.Canonical.database q1 in
   let d2, _ = Cq.Canonical.database q2 in
-  let r = solve d2 d1 in
-  (r.answer <> None, r.route)
+  solve ?budget d2 d1

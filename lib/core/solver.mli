@@ -10,12 +10,27 @@ open Relational
     + Booleanized Schaefer target (Lemma 3.5) for small non-Boolean targets;
     + acyclic source — Yannakakis semi-joins (querywidth 1);
     + bounded-treewidth source — dynamic programming (Theorem 5.4);
-    + k-consistency refutation — the existential k-pebble game
-      (Theorems 4.7–4.9), which may settle "no" and always prunes;
+    + k-consistency — the existential k-pebble game (Theorems 4.7–4.9),
+      which may settle "no" and always soundly prunes domains;
     + MAC backtracking (NP-complete in general; Section 2).
 
     All routes agree on the answer; the benches measure how much each one
-    saves on its own instance class. *)
+    saves on its own instance class.
+
+    {2 Budgets and graceful degradation}
+
+    [solve ?budget] is the {e portfolio degradation} layer.  The budget is
+    divided into slices: each potentially-expensive route (treewidth DP,
+    k-consistency, backtracking) runs under its own slice and, when the
+    slice is exhausted, the dispatcher records the partial verdict and
+    falls through to the next route instead of aborting.  Work is never
+    wasted: a k-consistency pass that fails to refute still prunes the
+    backtracking domains (any pair [(x, v)] outside the winning family can
+    appear in no homomorphism).  Only when every route is exhausted does
+    the dispatcher return [Unknown], together with a per-route budget
+    report in {!result.attempts}.  Budgeted answers never contradict
+    unbudgeted ones: [Sat]/[Unsat] are definitive; [Unknown] is the only
+    degradation. *)
 
 type route =
   | Schaefer_direct of Schaefer.Classify.schaefer_class
@@ -28,26 +43,60 @@ type route =
 
 val route_name : route -> string
 
-type result = {
-  answer : Homomorphism.mapping option;
-  route : route;  (** The route that produced the answer. *)
+type verdict = Homomorphism.mapping Budget.outcome
+(** [Sat h] — the homomorphism [h] exists; [Unsat] — provably none;
+    [Unknown reason] — every route exhausted its budget slice. *)
+
+type attempt_outcome =
+  | Decided  (** This route produced the final verdict. *)
+  | Pruned
+      (** The route did not decide but contributed sound domain pruning
+          that later routes reuse (k-consistency). *)
+  | Exhausted of Budget.exhausted_reason
+      (** The route ran out of its budget slice and was skipped. *)
+  | Inapplicable  (** The route recognized the instance is outside it. *)
+
+type attempt = {
+  route : route;
+  nodes : int;  (** Budget ticks this route consumed. *)
+  outcome : attempt_outcome;
 }
+
+type result = {
+  verdict : verdict;
+  route : route;
+      (** The route that produced the verdict (the last one attempted when
+          the verdict is [Unknown]). *)
+  attempts : attempt list;  (** Per-route budget report, in order tried. *)
+}
+
+val answer : result -> Homomorphism.mapping option
+(** The witness when the verdict is [Sat]; [None] otherwise. *)
+
+val verdict_name : verdict -> string
+(** ["sat"], ["unsat"] or ["unknown (<reason>)"]. *)
 
 val solve :
   ?max_treewidth:int ->
   ?consistency_k:int ->
   ?booleanize_threshold:int ->
+  ?budget:Budget.t ->
   Structure.t ->
   Structure.t ->
   result
 (** [max_treewidth] (default 3) caps the decomposition width the DP route
     accepts; [consistency_k] (default 2) is the pebble count of the
     refutation pass; [booleanize_threshold] (default 4) caps [|B|] for the
-    Booleanization attempt. *)
+    Booleanization attempt.  [budget] (default unlimited) bounds the whole
+    portfolio; [solve] never raises {!Budget.Exhausted} — exhaustion
+    surfaces as an [Unknown] verdict. *)
 
 val exists : Structure.t -> Structure.t -> bool
+(** Unbudgeted existence (always definitive). *)
 
-val solve_containment : Cq.Query.t -> Cq.Query.t -> bool * route
+val solve_containment : ?budget:Budget.t -> Cq.Query.t -> Cq.Query.t -> result
 (** [Q1 ⊆ Q2] through the same dispatcher: restrictions on [Q2] surface as
     source-side structure (treewidth/acyclicity), restrictions on [Q1] as
-    target-side structure (Schaefer after Booleanization). *)
+    target-side structure (Schaefer after Booleanization).  [Sat _] means
+    contained, [Unsat] not contained, [Unknown] out of budget.
+    @raise Invalid_argument when the head arities differ. *)

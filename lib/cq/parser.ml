@@ -1,4 +1,8 @@
-exception Parse_error of string
+open Relational
+
+exception Parse_error of Source_position.t * string
+
+let fail pos msg = raise (Parse_error (pos, msg))
 
 type token =
   | Ident of string
@@ -13,7 +17,10 @@ let is_ident_start c = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c = '
 
 let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
 
+(* Tokens paired with the source position of their first character; [Eof]
+   carries the position just past the input. *)
 let tokenize input =
+  let pos i = Source_position.of_offset input i in
   let n = String.length input in
   let tokens = ref [] in
   let i = ref 0 in
@@ -25,50 +32,55 @@ let tokenize input =
       while !i < n && is_ident_char input.[!i] do
         incr i
       done;
-      tokens := Ident (String.sub input start (!i - start)) :: !tokens
+      tokens := (pos start, Ident (String.sub input start (!i - start))) :: !tokens
     end
     else begin
       (match c with
-      | '(' -> tokens := Lparen :: !tokens
-      | ')' -> tokens := Rparen :: !tokens
-      | ',' -> tokens := Comma :: !tokens
-      | '.' -> tokens := Period :: !tokens
+      | '(' -> tokens := (pos !i, Lparen) :: !tokens
+      | ')' -> tokens := (pos !i, Rparen) :: !tokens
+      | ',' -> tokens := (pos !i, Comma) :: !tokens
+      | '.' -> tokens := (pos !i, Period) :: !tokens
       | ':' ->
         if !i + 1 < n && input.[!i + 1] = '-' then begin
-          tokens := Turnstile :: !tokens;
+          tokens := (pos !i, Turnstile) :: !tokens;
           incr i
         end
-        else raise (Parse_error (Printf.sprintf "unexpected ':' at offset %d" !i))
-      | _ -> raise (Parse_error (Printf.sprintf "unexpected character %C at offset %d" c !i)));
+        else fail (pos !i) "unexpected ':'"
+      | _ -> fail (pos !i) (Printf.sprintf "unexpected character %C" c));
       incr i
     end
   done;
-  List.rev (Eof :: !tokens)
+  List.rev ((pos n, Eof) :: !tokens)
 
-type state = { mutable tokens : token list }
+type state = { mutable tokens : (Source_position.t * token) list }
 
-let peek st = match st.tokens with [] -> Eof | t :: _ -> t
+let peek st =
+  match st.tokens with
+  | [] -> (Source_position.start, Eof)
+  | t :: _ -> t
+
+let peek_token st = snd (peek st)
 
 let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
 
 let expect st token what =
-  if peek st = token then advance st
-  else raise (Parse_error ("expected " ^ what))
+  let pos, found = peek st in
+  if found = token then advance st else fail pos ("expected " ^ what)
 
 let parse_ident st what =
   match peek st with
-  | Ident name ->
+  | _, Ident name ->
     advance st;
     name
-  | _ -> raise (Parse_error ("expected " ^ what))
+  | pos, _ -> fail pos ("expected " ^ what)
 
 (* varlist := epsilon | IDENT (',' IDENT)* *)
 let parse_args st =
-  if peek st = Rparen then []
+  if peek_token st = Rparen then []
   else begin
     let rec loop acc =
       let v = parse_ident st "a variable" in
-      if peek st = Comma then begin
+      if peek_token st = Comma then begin
         advance st;
         loop (v :: acc)
       end
@@ -88,7 +100,7 @@ let parse string =
   let st = { tokens = tokenize string } in
   let head_pred = parse_ident st "the head predicate" in
   let head =
-    if peek st = Lparen then begin
+    if peek_token st = Lparen then begin
       advance st;
       let args = parse_args st in
       expect st Rparen "')'";
@@ -99,16 +111,18 @@ let parse string =
   expect st Turnstile "':-'";
   let rec atoms acc =
     let a = parse_atom st in
-    if peek st = Comma then begin
+    if peek_token st = Comma then begin
       advance st;
       atoms (a :: acc)
     end
     else List.rev (a :: acc)
   in
   let body = atoms [] in
-  if peek st = Period then advance st;
-  if peek st <> Eof then raise (Parse_error "trailing input after query");
+  if peek_token st = Period then advance st;
+  let pos, trailing = peek st in
+  if trailing <> Eof then fail pos "trailing input after query";
   try Query.make ~head_pred ~head body
-  with Invalid_argument msg -> raise (Parse_error msg)
+  with Invalid_argument msg -> fail pos msg
 
-let parse_opt string = match parse string with q -> Some q | exception Parse_error _ -> None
+let parse_opt string =
+  match parse string with q -> Some q | exception Parse_error _ -> None

@@ -5,9 +5,11 @@
     Identifiers match [[A-Za-z_][A-Za-z0-9_']*]; the trailing period is
     optional; a nullary head may be written [Q() :- ...] or [Q :- ...]. *)
 
-exception Parse_error of string
+exception Parse_error of Relational.Source_position.t * string
+(** Parse failure at the given (1-based) line/column. *)
 
 val parse : string -> Query.t
-(** @raise Parse_error on malformed input. *)
+(** @raise Parse_error on malformed input, located at the offending
+    token. *)
 
 val parse_opt : string -> Query.t option

@@ -39,8 +39,9 @@ let tuples_within a dom_mem =
          if Array.for_all dom_mem t then (name, t) :: acc else acc)
        a [])
 
-let run ~k a b =
+let run ?(budget = Budget.unlimited) ~k a b =
   if k < 1 then invalid_arg "Game: k must be positive";
+  Budget.check budget;
   let n = Structure.size a and m = Structure.size b in
   if n = 0 then ([ [] ], { initial_configs = 1; removed = 0 })
   else if m = 0 then ([], { initial_configs = 0; removed = 0 })
@@ -58,6 +59,7 @@ let run ~k a b =
       in
       let rec assign i =
         if i = d then begin
+          Budget.tick budget;
           let ok =
             List.for_all
               (fun (name, t) ->
@@ -95,6 +97,7 @@ let run ~k a b =
       end
     in
     let has_forth config =
+      Budget.tick budget;
       List.length config >= k
       ||
       let dom = domain config in
@@ -118,6 +121,7 @@ let run ~k a b =
     in
     List.iter remove initial_bad;
     while not (Queue.is_empty queue) do
+      Budget.tick budget;
       let config = Queue.pop queue in
       if List.length config < k then begin
         let dom = domain config in
@@ -138,25 +142,25 @@ let run ~k a b =
     (surviving, { initial_configs; removed = !removed })
   end
 
-let winning_family ~k a b = fst (run ~k a b)
+let winning_family ?budget ~k a b = fst (run ?budget ~k a b)
 
-let duplicator_wins_with_stats ~k a b =
-  let family, stats = run ~k a b in
+let duplicator_wins_with_stats ?budget ~k a b =
+  let family, stats = run ?budget ~k a b in
   (family <> [], stats)
 
-let duplicator_wins ~k a b = fst (duplicator_wins_with_stats ~k a b)
+let duplicator_wins ?budget ~k a b = fst (duplicator_wins_with_stats ?budget ~k a b)
 
-let spoiler_wins ~k a b = not (duplicator_wins ~k a b)
+let spoiler_wins ?budget ~k a b = not (duplicator_wins ?budget ~k a b)
 
-let solve ~k a b = if spoiler_wins ~k a b then Some false else None
+let solve ?budget ~k a b = if spoiler_wins ?budget ~k a b then Some false else None
 
 type strategy = {
   k : int;
   family_table : (config, unit) Hashtbl.t;
 }
 
-let strategy ~k a b =
-  match winning_family ~k a b with
+let strategy ?budget ~k a b =
+  match winning_family ?budget ~k a b with
   | [] -> None
   | family ->
     let table = Hashtbl.create (List.length family) in

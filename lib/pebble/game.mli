@@ -14,28 +14,36 @@ open Relational
     - if a homomorphism [A -> B] exists, the Duplicator wins (the converse
       can fail: the game is a polynomial relaxation);
     - when [not CSP(B)] is expressible in k-Datalog, the game is exact
-      (Theorem 4.8), which yields the uniform tractability of Theorem 4.9. *)
+      (Theorem 4.8), which yields the uniform tractability of Theorem 4.9.
+
+    Every entry point takes an optional [?budget], ticked once per generated
+    candidate mapping and per consistency-loop step; on exhaustion the
+    computation aborts by raising [Budget.Exhausted].  [Core.Solver] uses
+    this to bound the k-consistency pass in its portfolio. *)
 
 type config = (int * int) list
 (** A game position: pairs [(a, b)] of pebbled elements, sorted by [a],
     with distinct first components. *)
 
-val winning_family : k:int -> Structure.t -> Structure.t -> config list
+val winning_family :
+  ?budget:Budget.t -> k:int -> Structure.t -> Structure.t -> config list
 (** The largest restriction-closed family with the forth property; empty
-    when the Spoiler wins.  @raise Invalid_argument when [k < 1]. *)
+    when the Spoiler wins.  @raise Invalid_argument when [k < 1].
+    @raise Budget.Exhausted when [budget] runs out. *)
 
-val duplicator_wins : k:int -> Structure.t -> Structure.t -> bool
+val duplicator_wins : ?budget:Budget.t -> k:int -> Structure.t -> Structure.t -> bool
 
-val spoiler_wins : k:int -> Structure.t -> Structure.t -> bool
+val spoiler_wins : ?budget:Budget.t -> k:int -> Structure.t -> Structure.t -> bool
 
 type stats = {
   initial_configs : int;  (** Partial homomorphisms generated. *)
   removed : int;  (** Configurations pruned by the consistency loop. *)
 }
 
-val duplicator_wins_with_stats : k:int -> Structure.t -> Structure.t -> bool * stats
+val duplicator_wins_with_stats :
+  ?budget:Budget.t -> k:int -> Structure.t -> Structure.t -> bool * stats
 
-val solve : k:int -> Structure.t -> Structure.t -> bool option
+val solve : ?budget:Budget.t -> k:int -> Structure.t -> Structure.t -> bool option
 (** One-sided decision for [hom(A, B)]: [Some false] when the Spoiler wins
     (definitely no homomorphism); [None] when the Duplicator wins (a
     homomorphism is possible but not guaranteed unless [not CSP(B)] is
@@ -49,7 +57,8 @@ val solve : k:int -> Structure.t -> Structure.t -> bool option
 
 type strategy
 
-val strategy : k:int -> Structure.t -> Structure.t -> strategy option
+val strategy :
+  ?budget:Budget.t -> k:int -> Structure.t -> Structure.t -> strategy option
 (** The Duplicator's strategy, or [None] when the Spoiler wins. *)
 
 val respond : strategy -> config -> int -> int option

@@ -1,0 +1,103 @@
+type exhausted_reason = Node_limit | Deadline | Cancelled
+
+let reason_to_string = function
+  | Node_limit -> "node limit"
+  | Deadline -> "deadline"
+  | Cancelled -> "cancelled"
+
+let pp_reason ppf r = Format.pp_print_string ppf (reason_to_string r)
+
+exception Exhausted of exhausted_reason
+
+type 'a outcome = Sat of 'a | Unsat | Unknown of exhausted_reason
+
+let outcome_to_option = function Sat x -> Some x | Unsat | Unknown _ -> None
+
+let pp_outcome pp_sat ppf = function
+  | Sat x -> Format.fprintf ppf "sat (%a)" pp_sat x
+  | Unsat -> Format.pp_print_string ppf "unsat"
+  | Unknown r -> Format.fprintf ppf "unknown (%s)" (reason_to_string r)
+
+type t = {
+  max_nodes : int;  (* [max_int] means no limit *)
+  deadline : float;  (* absolute [Unix.gettimeofday] time; [infinity] means none *)
+  cancel : bool ref option;
+  parent : t option;
+  mutable nodes : int;
+}
+
+let no_limit = max_int
+
+let unlimited =
+  { max_nodes = no_limit; deadline = infinity; cancel = None; parent = None; nodes = 0 }
+
+let make ?max_nodes ?timeout ?cancel ?parent () =
+  let max_nodes =
+    match max_nodes with
+    | None -> no_limit
+    | Some n -> if n < 0 then invalid_arg "Budget.create: max_nodes < 0" else n
+  in
+  let deadline =
+    match timeout with
+    | None -> infinity
+    | Some s ->
+      if s < 0. then invalid_arg "Budget.create: timeout < 0"
+      else Unix.gettimeofday () +. s
+  in
+  { max_nodes; deadline; cancel; parent; nodes = 0 }
+
+let create ?max_nodes ?timeout ?cancel () = make ?max_nodes ?timeout ?cancel ()
+
+let is_unlimited t =
+  t.max_nodes = no_limit && t.deadline = infinity && t.cancel = None
+  && t.parent = None
+
+let spent t = t.nodes
+
+let remaining_nodes t =
+  if t.max_nodes = no_limit then None else Some (max 0 (t.max_nodes - t.nodes))
+
+let cancelled t = match t.cancel with Some flag -> !flag | None -> false
+
+let past_deadline t = t.deadline < infinity && Unix.gettimeofday () > t.deadline
+
+let rec status t =
+  if cancelled t then Some Cancelled
+  else if past_deadline t then Some Deadline
+  else if t.nodes >= t.max_nodes then Some Node_limit
+  else match t.parent with Some p -> status p | None -> None
+
+let check t = match status t with Some r -> raise (Exhausted r) | None -> ()
+
+(* Poll the clock and the cancellation flag only every [poll_mask + 1]
+   ticks; the node-limit comparison runs on every tick. *)
+let poll_mask = 255
+
+let rec tick t =
+  t.nodes <- t.nodes + 1;
+  if t.nodes > t.max_nodes && t.max_nodes <> no_limit then begin
+    if cancelled t then raise (Exhausted Cancelled)
+    else if past_deadline t then raise (Exhausted Deadline)
+    else raise (Exhausted Node_limit)
+  end;
+  if t.nodes land poll_mask = 0 then begin
+    if cancelled t then raise (Exhausted Cancelled);
+    if past_deadline t then raise (Exhausted Deadline)
+  end;
+  match t.parent with Some p -> tick p | None -> ()
+
+let slice parent ?max_nodes ?timeout () =
+  if is_unlimited parent then make ?max_nodes ?timeout ()
+  else begin
+    let max_nodes =
+      match (max_nodes, remaining_nodes parent) with
+      | None, r -> r
+      | Some n, None -> Some n
+      | Some n, Some r -> Some (min n r)
+    in
+    let child = make ?max_nodes ?timeout ?cancel:parent.cancel ~parent () in
+    (* The child's deadline must not outlive the parent's. *)
+    if parent.deadline < child.deadline then
+      { child with deadline = parent.deadline }
+    else child
+  end

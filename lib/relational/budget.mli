@@ -1,0 +1,82 @@
+(** Cooperative resource budgets for the solver stack.
+
+    A budget carries a search-node limit, a wall-clock deadline and a
+    cooperative cancellation flag.  Solvers call {!tick} once per unit of
+    work (a search-tree node, a generated configuration, a bag assignment);
+    when any limit is hit the budget raises {!Exhausted}, which the caller
+    — typically [Core.Solver] — catches at a route boundary and converts
+    into a degraded three-valued answer ({!outcome}).
+
+    [tick] is cheap: a node-limit comparison per call, with the clock and
+    the cancellation flag polled only every few hundred ticks.  Budgets are
+    single-threaded mutable values; do not share one across domains. *)
+
+type exhausted_reason =
+  | Node_limit  (** The node allowance was consumed. *)
+  | Deadline  (** The wall-clock deadline passed. *)
+  | Cancelled  (** The cooperative cancellation flag was raised. *)
+
+val reason_to_string : exhausted_reason -> string
+
+val pp_reason : Format.formatter -> exhausted_reason -> unit
+
+exception Exhausted of exhausted_reason
+
+type 'a outcome =
+  | Sat of 'a  (** A witness was found within budget. *)
+  | Unsat  (** Definitely no solution; budgeted runs never lie. *)
+  | Unknown of exhausted_reason
+      (** The budget ran out before the question was settled. *)
+
+val outcome_to_option : 'a outcome -> 'a option
+(** [Sat x] to [Some x]; both [Unsat] and [Unknown _] to [None]. *)
+
+val pp_outcome :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a outcome -> unit
+
+type t
+
+val unlimited : t
+(** The no-op budget: never exhausts.  This is the default everywhere a
+    [?budget] parameter is omitted, so unbudgeted behavior is unchanged. *)
+
+val create :
+  ?max_nodes:int -> ?timeout:float -> ?cancel:bool ref -> unit -> t
+(** [create ?max_nodes ?timeout ?cancel ()] is a fresh budget allowing at
+    most [max_nodes] ticks, expiring [timeout] seconds of wall clock from
+    now, and exhausting as soon as [!cancel] becomes true.  All three are
+    optional; omitting all of them yields a fresh unlimited budget.
+    @raise Invalid_argument if [max_nodes < 0] or [timeout < 0]. *)
+
+val is_unlimited : t -> bool
+(** No node limit, no deadline, no cancellation flag. *)
+
+val spent : t -> int
+(** Ticks consumed so far (including those of any {!slice} children). *)
+
+val remaining_nodes : t -> int option
+(** [None] when there is no node limit. *)
+
+val status : t -> exhausted_reason option
+(** Non-raising probe: the reason the budget is exhausted, if it is.
+    Cancellation takes precedence over the deadline, which takes precedence
+    over the node limit. *)
+
+val check : t -> unit
+(** Probe all three limits (including the clock, unconditionally).
+    @raise Exhausted when any limit is hit.  Call at phase boundaries. *)
+
+val tick : t -> unit
+(** Consume one node of the allowance, then check cheaply (the clock and
+    the cancellation flag are only polled every 256 ticks).
+    @raise Exhausted when a limit is hit.  Call once per unit of work in
+    inner loops. *)
+
+val slice : t -> ?max_nodes:int -> ?timeout:float -> unit -> t
+(** [slice parent ?max_nodes ?timeout ()] is a child budget for one phase
+    of a larger computation: its node limit is [max_nodes] capped by the
+    parent's remaining allowance, its deadline the earlier of [timeout]
+    from now and the parent's, and it shares the parent's cancellation
+    flag.  Ticks on the child also count against the parent, so exhausting
+    the parent exhausts every child.  Slicing {!unlimited} just creates an
+    independent budget. *)

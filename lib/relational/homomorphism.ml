@@ -21,10 +21,14 @@ let is_homomorphism a b (h : mapping) =
   !ok
 
 (* Generic MAC backtracking search.  [on_solution] receives each solution and
-   returns [true] to continue enumerating. *)
-let search ?(ordering = `Mrv) ?(restrict = fun _ _ -> true) a b ~on_solution =
+   returns [true] to continue enumerating.  [budget] is ticked once per
+   search-tree node and may abort the search by raising
+   [Budget.Exhausted]. *)
+let search ?(ordering = `Mrv) ?(restrict = fun _ _ -> true)
+    ?(budget = Budget.unlimited) a b ~on_solution =
   let n = Structure.size a and m = Structure.size b in
   let nodes = ref 0 in
+  Budget.check budget;
   if n = 0 then begin
     ignore (on_solution [||]);
     !nodes
@@ -77,6 +81,7 @@ let search ?(ordering = `Mrv) ?(restrict = fun _ _ -> true) a b ~on_solution =
             (fun v ->
               if !continue_ && Arc_consistency.dom_mem ctx x v then begin
                 incr nodes;
+                Budget.tick budget;
                 Arc_consistency.push ctx;
                 if Arc_consistency.assign ctx x v then
                   if not (solve ()) then continue_ := false;
@@ -92,34 +97,41 @@ let search ?(ordering = `Mrv) ?(restrict = fun _ _ -> true) a b ~on_solution =
     !nodes
   end
 
-let find_with_stats ?ordering ?restrict a b =
+let find_with_stats ?ordering ?restrict ?budget a b =
   let result = ref None in
   let nodes =
-    search ?ordering ?restrict a b ~on_solution:(fun h ->
+    search ?ordering ?restrict ?budget a b ~on_solution:(fun h ->
         result := Some (Array.copy h);
         false)
   in
   (!result, { nodes })
 
-let find ?ordering ?restrict a b = fst (find_with_stats ?ordering ?restrict a b)
+let find ?ordering ?restrict ?budget a b =
+  fst (find_with_stats ?ordering ?restrict ?budget a b)
+
+let decide ?ordering ?restrict ?budget a b =
+  match find ?ordering ?restrict ?budget a b with
+  | Some h -> Budget.Sat h
+  | None -> Budget.Unsat
+  | exception Budget.Exhausted reason -> Budget.Unknown reason
 
 let exists a b = find a b <> None
 
-let enumerate ?limit a b =
+let enumerate ?limit ?budget a b =
   let acc = ref [] and seen = ref 0 in
   let cap = match limit with Some l -> l | None -> max_int in
   if cap > 0 then
     ignore
-      (search a b ~on_solution:(fun h ->
+      (search ?budget a b ~on_solution:(fun h ->
            acc := Array.copy h :: !acc;
            incr seen;
            !seen < cap));
   List.rev !acc
 
-let count a b =
+let count ?budget a b =
   let c = ref 0 in
   ignore
-    (search a b ~on_solution:(fun _ ->
+    (search ?budget a b ~on_solution:(fun _ ->
          incr c;
          true));
   !c
@@ -152,14 +164,14 @@ let identity n = Array.init n Fun.id
 
 let hom_equivalent a b = exists a b && exists b a
 
-let core_with_map a =
+let core_with_map ?budget a =
   let rec shrink current retraction =
     let n = Structure.size current in
     (* Look for an endomorphism avoiding some element v of the universe. *)
     let rec attempt v =
       if v >= n then None
       else
-        match find ~restrict:(fun _ y -> y <> v) current current with
+        match find ?budget ~restrict:(fun _ y -> y <> v) current current with
         | Some h -> Some h
         | None -> attempt (v + 1)
     in
@@ -175,7 +187,7 @@ let core_with_map a =
   in
   shrink a (identity (Structure.size a))
 
-let core a = fst (core_with_map a)
+let core ?budget a = fst (core_with_map ?budget a)
 
 let inverse_mapping ~target_size (h : mapping) =
   let inv = Array.make target_size (-1) in
@@ -188,12 +200,12 @@ let is_isomorphism a b h =
   && is_homomorphism a b h
   && is_homomorphism b a (inverse_mapping ~target_size:(Structure.size b) h)
 
-let find_isomorphism a b =
+let find_isomorphism ?budget a b =
   if Structure.size a <> Structure.size b then None
   else begin
     let result = ref None in
     ignore
-      (search a b ~on_solution:(fun h ->
+      (search ?budget a b ~on_solution:(fun h ->
            if is_isomorphism a b h then begin
              result := Some (Array.copy h);
              false

@@ -8,7 +8,13 @@
     [find]/[exists] implement the general (NP-complete) search: backtracking
     with minimum-remaining-values variable ordering, maintaining generalized
     arc consistency (MAC).  This is the paper's uniform baseline against
-    which every tractable special case is compared. *)
+    which every tractable special case is compared.
+
+    Every search entry point takes an optional [?budget]
+    ({!Budget.unlimited} by default).  The budget is ticked once per
+    search-tree node; on exhaustion the search aborts by raising
+    {!Budget.Exhausted}.  Use {!decide} for a non-raising three-valued
+    answer. *)
 
 type mapping = int array
 
@@ -19,6 +25,7 @@ val is_homomorphism : Structure.t -> Structure.t -> mapping -> bool
 val find :
   ?ordering:[ `Mrv | `Input ] ->
   ?restrict:(int -> int -> bool) ->
+  ?budget:Budget.t ->
   Structure.t ->
   Structure.t ->
   mapping option
@@ -26,21 +33,35 @@ val find :
     prunes target candidate [v] for source element [x] up front — used, e.g.,
     to search for non-surjective endomorphisms.  [ordering] selects the
     branching-variable heuristic: minimum-remaining-values (default) or
-    plain input order (for ablations). *)
+    plain input order (for ablations).
+    @raise Budget.Exhausted when [budget] runs out mid-search. *)
 
 val find_with_stats :
   ?ordering:[ `Mrv | `Input ] ->
   ?restrict:(int -> int -> bool) ->
+  ?budget:Budget.t ->
   Structure.t ->
   Structure.t ->
   mapping option * stats
 
+val decide :
+  ?ordering:[ `Mrv | `Input ] ->
+  ?restrict:(int -> int -> bool) ->
+  ?budget:Budget.t ->
+  Structure.t ->
+  Structure.t ->
+  mapping Budget.outcome
+(** Non-raising variant of {!find}: budget exhaustion becomes
+    [Unknown]. *)
+
 val exists : Structure.t -> Structure.t -> bool
 
-val enumerate : ?limit:int -> Structure.t -> Structure.t -> mapping list
-(** All homomorphisms (up to [limit] when given), in no specified order. *)
+val enumerate :
+  ?limit:int -> ?budget:Budget.t -> Structure.t -> Structure.t -> mapping list
+(** All homomorphisms (up to [limit] when given), in no specified order.
+    @raise Budget.Exhausted when [budget] runs out mid-enumeration. *)
 
-val count : Structure.t -> Structure.t -> int
+val count : ?budget:Budget.t -> Structure.t -> Structure.t -> int
 
 val is_injective : mapping -> bool
 
@@ -57,18 +78,20 @@ val identity : int -> mapping
 val hom_equivalent : Structure.t -> Structure.t -> bool
 (** Homomorphisms exist in both directions. *)
 
-val core : Structure.t -> Structure.t
+val core : ?budget:Budget.t -> Structure.t -> Structure.t
 (** The core: the smallest retract, unique up to isomorphism.  Computed by
-    repeatedly finding non-surjective endomorphisms. *)
+    repeatedly finding non-surjective endomorphisms.
+    @raise Budget.Exhausted when [budget] runs out mid-shrink. *)
 
-val core_with_map : Structure.t -> Structure.t * mapping
+val core_with_map : ?budget:Budget.t -> Structure.t -> Structure.t * mapping
 (** The core together with the retraction from the original universe onto
     the core's (renumbered) universe. *)
 
 val is_isomorphism : Structure.t -> Structure.t -> mapping -> bool
 (** A bijective homomorphism whose inverse is also a homomorphism. *)
 
-val find_isomorphism : Structure.t -> Structure.t -> mapping option
+val find_isomorphism :
+  ?budget:Budget.t -> Structure.t -> Structure.t -> mapping option
 (** First isomorphism found (enumerating homomorphisms and filtering);
     intended for the small structures where isomorphism matters here, such
     as cores. *)

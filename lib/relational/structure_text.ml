@@ -1,75 +1,118 @@
-exception Parse_error of string
+exception Parse_error of Source_position.t * string
 
-let fail fmt = Format.kasprintf (fun msg -> raise (Parse_error msg)) fmt
+let fail pos fmt =
+  Format.kasprintf (fun msg -> raise (Parse_error (pos, msg))) fmt
 
+(* Tokens of one line with their 1-based starting columns; ['#'] starts a
+   comment. *)
 let tokens_of_line line =
   let line =
     match String.index_opt line '#' with
     | Some i -> String.sub line 0 i
     | None -> line
   in
-  String.split_on_char ' ' line
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.filter (fun s -> s <> "")
+  let n = String.length line in
+  let tokens = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if line.[!i] = ' ' || line.[!i] = '\t' then incr i
+    else begin
+      let start = !i in
+      while !i < n && line.[!i] <> ' ' && line.[!i] <> '\t' do
+        incr i
+      done;
+      tokens := (start + 1, String.sub line start (!i - start)) :: !tokens
+    end
+  done;
+  List.rev !tokens
 
-let int_of token what =
+let int_of ~line (col, token) what =
   match int_of_string_opt token with
   | Some v -> v
-  | None -> fail "expected %s, got %S" what token
+  | None -> fail { Source_position.line; col } "expected %s, got %S" what token
 
 let parse text =
   let lines = String.split_on_char '\n' text in
-  let parsed = List.filter_map (fun l ->
-      match tokens_of_line l with [] -> None | ts -> Some ts) lines
+  let parsed =
+    List.concat
+      (List.mapi
+         (fun i l ->
+           match tokens_of_line l with [] -> [] | ts -> [ (i + 1, ts) ])
+         lines)
   in
+  let line_pos line = { Source_position.line; col = 1 } in
+  let token_pos line (col, _) = { Source_position.line; col } in
   match parsed with
-  | [] -> fail "empty input (expected a 'size N' line)"
-  | first :: rest ->
+  | [] -> fail Source_position.start "empty input (expected a 'size N' line)"
+  | (first_line, first) :: rest ->
     let size =
       match first with
-      | [ "size"; n ] -> int_of n "the universe size"
-      | _ -> fail "the first line must be 'size N'"
+      | [ (_, "size"); n ] -> int_of ~line:first_line n "the universe size"
+      | _ -> fail (line_pos first_line) "the first line must be 'size N'"
     in
     let decls, facts =
-      List.partition (fun ts -> match ts with "rel" :: _ -> true | _ -> false) rest
+      List.partition
+        (fun (_, ts) -> match ts with (_, "rel") :: _ -> true | _ -> false)
+        rest
     in
     let arities = Hashtbl.create 8 in
     let declaration_order = ref [] in
-    let declare name arity =
+    let declare pos name arity =
       match Hashtbl.find_opt arities name with
-      | Some a when a <> arity -> fail "relation %s used with arities %d and %d" name a arity
+      | Some a when a <> arity ->
+        fail pos "relation %s used with arities %d and %d" name a arity
       | Some _ -> ()
       | None ->
         Hashtbl.replace arities name arity;
         declaration_order := name :: !declaration_order
     in
     List.iter
-      (fun ts ->
+      (fun (line, ts) ->
         match ts with
-        | [ "rel"; name; arity ] -> declare name (int_of arity "an arity")
-        | _ -> fail "malformed rel declaration")
+        | [ _; (col, name); arity ] ->
+          declare { Source_position.line; col } name (int_of ~line arity "an arity")
+        | _ -> fail (line_pos line) "malformed rel declaration (expected 'rel NAME ARITY')")
       decls;
     let parsed_facts =
       List.map
-        (fun ts ->
+        (fun (line, ts) ->
           match ts with
-          | name :: args ->
-            let tuple = Array.of_list (List.map (fun a -> int_of a "an element") args) in
-            declare name (Array.length tuple);
-            (name, tuple)
+          | ((_, name) as name_tok) :: args ->
+            let tuple =
+              Array.of_list
+                (List.map
+                   (fun ((col, _) as a) ->
+                     let v = int_of ~line a "an element" in
+                     if v < 0 || v >= size then
+                       fail { Source_position.line; col }
+                         "element %d out of range for universe size %d" v size;
+                     v)
+                   args)
+            in
+            declare (token_pos line name_tok) name (Array.length tuple);
+            (token_pos line name_tok, name, tuple)
           | [] -> assert false)
         facts
     in
-    let vocab =
-      Vocabulary.create
-        (List.rev_map (fun name -> (name, Hashtbl.find arities name)) !declaration_order)
+    let base =
+      match
+        let vocab =
+          Vocabulary.create
+            (List.rev_map
+               (fun name -> (name, Hashtbl.find arities name))
+               !declaration_order)
+        in
+        Structure.create vocab ~size
+      with
+      | s -> s
+      | exception Invalid_argument msg -> fail (line_pos first_line) "%s" msg
     in
     List.fold_left
-      (fun acc (name, tuple) ->
+      (fun acc (pos, name, tuple) ->
         match Structure.add_tuple acc name tuple with
         | s -> s
-        | exception Invalid_argument msg -> fail "%s" msg)
-      (Structure.create vocab ~size) parsed_facts
+        | exception Invalid_argument msg -> fail pos "%s" msg)
+      base parsed_facts
 
 let print a =
   let buffer = Buffer.create 256 in

@@ -12,10 +12,12 @@
     relations (required for relations with no facts); remaining lines are
     facts.  [#] starts a comment; blank lines are ignored. *)
 
-exception Parse_error of string
+exception Parse_error of Source_position.t * string
+(** Parse failure at the given (1-based) line/column. *)
 
 val parse : string -> Structure.t
-(** @raise Parse_error on malformed input. *)
+(** @raise Parse_error on malformed input, located at the offending
+    token. *)
 
 val print : Structure.t -> string
 (** Canonical text (parses back to an equal structure). *)

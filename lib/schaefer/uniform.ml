@@ -17,7 +17,7 @@ let used_symbols a =
     (fun (name, _) -> not (Relation.is_empty (Structure.relation a name)))
     (Vocabulary.symbols (Structure.vocabulary a))
 
-let build_formula a b cls =
+let build_formula ?(budget = Budget.unlimited) a b cls =
   let n = Structure.size a in
   let clausal = ref [] and linear = ref [] in
   List.iter
@@ -25,6 +25,7 @@ let build_formula a b cls =
       let def = Define.defining (target_relation b name arity) cls in
       Relation.iter
         (fun t ->
+          Budget.tick budget;
           match def with
           | Define.Clausal f -> clausal := Cnf.map_vars ~nvars:n (fun p -> t.(p)) f :: !clausal
           | Define.Linear s ->
@@ -68,7 +69,8 @@ let missing_symbol a b =
     (fun (name, _) -> not (Vocabulary.mem (Structure.vocabulary b) name))
     (used_symbols a)
 
-let solve_with ~route a b =
+let solve_with ?(budget = Budget.unlimited) ~route a b =
+  Budget.check budget;
   match preconditions a b with
   | Some reason -> Not_applicable reason
   | None -> (
@@ -80,8 +82,8 @@ let solve_with ~route a b =
       | Some Classify.One_valid -> Hom (Array.make (Structure.size a) 1)
       | Some cls -> route cls)
 
-let formula_route a b cls =
-  match build_formula a b cls with
+let formula_route ?budget a b cls =
+  match build_formula ?budget a b cls with
   | Define.Clausal f -> (
     let result =
       match cls with
@@ -98,7 +100,8 @@ let formula_route a b cls =
     | Some assignment -> Hom (mapping_of_assignment assignment)
     | None -> No_hom)
 
-let solve a b = solve_with a b ~route:(fun cls -> formula_route a b cls)
+let solve ?budget a b =
+  solve_with ?budget a b ~route:(fun cls -> formula_route ?budget a b cls)
 
 (* ------------------------------------------------------------------ *)
 (* Direct algorithms (Theorem 3.4).                                    *)
@@ -121,7 +124,7 @@ let target_masks a b =
     (Vocabulary.symbols (Structure.vocabulary a));
   table
 
-let solve_horn_direct a b =
+let solve_horn_direct ?(budget = Budget.unlimited) a b =
   let n = Structure.size a in
   let one = Array.make (max n 1) false in
   let occ = occurrences a in
@@ -139,6 +142,7 @@ let solve_horn_direct a b =
     !m
   in
   let process (name, (t : Tuple.t)) =
+    Budget.tick budget;
     let ts = Hashtbl.find masks name in
     let x = ones_mask t in
     Array.iteri
@@ -170,12 +174,12 @@ let solve_horn_direct a b =
 
 let flip_boolean b = Structure.map_universe b ~size:2 (fun v -> 1 - v)
 
-let solve_dual_horn_direct a b =
-  match solve_horn_direct a (flip_boolean b) with
+let solve_dual_horn_direct ?budget a b =
+  match solve_horn_direct ?budget a (flip_boolean b) with
   | None -> None
   | Some h -> Some (Array.map (fun v -> 1 - v) h)
 
-let solve_bijunctive_direct a b =
+let solve_bijunctive_direct ?(budget = Budget.unlimited) a b =
   let n = Structure.size a in
   let value = Array.make (max n 1) (-1) in
   let occ = occurrences a in
@@ -183,12 +187,15 @@ let solve_bijunctive_direct a b =
     let table = Hashtbl.create 16 in
     List.iter
       (fun (name, arity) ->
-        let ts =
+        (* A symbol of A's vocabulary with no relation in B acts as the
+           empty relation of the declared arity: any fact over it is
+           unsatisfiable, which propagation reports as a conflict. *)
+        let r =
           match Structure.relation b name with
-          | r -> Array.of_list (Relation.elements r)
-          | exception Not_found -> ignore arity; [||]
+          | r -> r
+          | exception Not_found -> Relation.empty arity
         in
-        Hashtbl.replace table name ts)
+        Hashtbl.replace table name (Array.of_list (Relation.elements r)))
       (Vocabulary.symbols (Structure.vocabulary a));
     table
   in
@@ -204,6 +211,7 @@ let solve_bijunctive_direct a b =
     else if value.(x) <> v then conflict := true
   in
   let propagate_element x =
+    Budget.tick budget;
     let v = value.(x) in
     List.iter
       (fun (name, (t : Tuple.t)) ->
@@ -272,12 +280,12 @@ let solve_bijunctive_direct a b =
         "Uniform.solve_bijunctive_direct: propagation produced a non-homomorphism \
          (is the target really bijunctive?)"
 
-let solve_direct a b =
-  solve_with a b ~route:(fun cls ->
+let solve_direct ?budget a b =
+  solve_with ?budget a b ~route:(fun cls ->
       let lift = function Some h -> Hom h | None -> No_hom in
       match cls with
-      | Classify.Horn -> lift (solve_horn_direct a b)
-      | Classify.Dual_horn -> lift (solve_dual_horn_direct a b)
-      | Classify.Bijunctive -> lift (solve_bijunctive_direct a b)
-      | Classify.Affine -> formula_route a b Classify.Affine
+      | Classify.Horn -> lift (solve_horn_direct ?budget a b)
+      | Classify.Dual_horn -> lift (solve_dual_horn_direct ?budget a b)
+      | Classify.Bijunctive -> lift (solve_bijunctive_direct ?budget a b)
+      | Classify.Affine -> formula_route ?budget a b Classify.Affine
       | Classify.Zero_valid | Classify.One_valid -> assert false)

@@ -9,7 +9,11 @@ open Relational
     [solve_direct] implements Theorem 3.4: skip formula construction and run
     the direct propagation algorithms on the structures themselves (the
     affine case, for which the paper gives no direct algorithm, falls back
-    to the formula route). *)
+    to the formula route).
+
+    All routes are polynomial, but on large instances they still honour an
+    optional [?budget] (ticked once per fact processed or propagation
+    step), raising [Budget.Exhausted] on exhaustion. *)
 
 type outcome =
   | Hom of Homomorphism.mapping
@@ -17,29 +21,33 @@ type outcome =
   | Not_applicable of string
       (** Target not Boolean, vocabulary mismatch, or not Schaefer. *)
 
-val build_formula : Structure.t -> Structure.t -> Classify.schaefer_class -> Define.t
+val build_formula :
+  ?budget:Budget.t -> Structure.t -> Structure.t -> Classify.schaefer_class -> Define.t
 (** [build_formula a b cls] is [phi_A]: the conjunction, over all facts
     [t ∈ Q^A], of the defining formula of [Q^B] instantiated on the elements
     of [t].  Variables are the elements of [A].
     @raise Invalid_argument on trivial classes or if some relation of [B] is
     outside [cls]. *)
 
-val solve : Structure.t -> Structure.t -> outcome
+val solve : ?budget:Budget.t -> Structure.t -> Structure.t -> outcome
 (** Theorem 3.3 (formula route). *)
 
-val solve_direct : Structure.t -> Structure.t -> outcome
+val solve_direct : ?budget:Budget.t -> Structure.t -> Structure.t -> outcome
 (** Theorem 3.4 (direct route). *)
 
-val solve_horn_direct : Structure.t -> Structure.t -> Homomorphism.mapping option
+val solve_horn_direct :
+  ?budget:Budget.t -> Structure.t -> Structure.t -> Homomorphism.mapping option
 (** Direct Horn algorithm: grow the set [One] of elements forced to 1 by the
     implications [One(t) -> j] of the target relations, then check each fact
     is dominated by some target tuple.  Precondition (unchecked): [b] is a
     Boolean structure whose relations are all Horn. *)
 
-val solve_dual_horn_direct : Structure.t -> Structure.t -> Homomorphism.mapping option
+val solve_dual_horn_direct :
+  ?budget:Budget.t -> Structure.t -> Structure.t -> Homomorphism.mapping option
 (** Mirror of the Horn algorithm under the 0/1 flip.  Precondition
     (unchecked): all relations of [b] dual Horn. *)
 
-val solve_bijunctive_direct : Structure.t -> Structure.t -> Homomorphism.mapping option
+val solve_bijunctive_direct :
+  ?budget:Budget.t -> Structure.t -> Structure.t -> Homomorphism.mapping option
 (** Phase propagation lifted to structures, as in the paper's Theorem 3.4.
     Precondition (unchecked): all relations of [b] bijunctive. *)

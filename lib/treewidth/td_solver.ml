@@ -14,8 +14,9 @@ let local_tuples a bag =
        (fun name t acc -> if Array.for_all mem t then (name, t) :: acc else acc)
        a [])
 
-let solve_with_decomposition_stats td a b =
+let solve_with_decomposition_stats ?(budget = Relational.Budget.unlimited) td a b =
   let n = Structure.size a and m = Structure.size b in
+  Relational.Budget.check budget;
   if n = 0 then (Some [||], { width = Tree_decomposition.width td; tables = 0 })
   else if m = 0 then (None, { width = Tree_decomposition.width td; tables = 0 })
   else begin
@@ -74,6 +75,7 @@ let solve_with_decomposition_stats td a b =
           let found_any = ref false in
           let rec assign i =
             if i = d then begin
+              Relational.Budget.tick budget;
               let local_ok =
                 List.for_all
                   (fun (name, t) -> Relation.mem (target_rel name) (Array.map value t))
@@ -142,20 +144,22 @@ let solve_with_decomposition_stats td a b =
     end
   end
 
-let solve_with_decomposition td a b = fst (solve_with_decomposition_stats td a b)
+let solve_with_decomposition ?budget td a b =
+  fst (solve_with_decomposition_stats ?budget td a b)
 
-let solve a b =
+let solve ?budget a b =
   if Structure.size a = 0 then Some [||]
-  else solve_with_decomposition (decompose a) a b
+  else solve_with_decomposition ?budget (decompose a) a b
 
 let exists a b = solve a b <> None
 
-let solve_with_stats a b =
+let solve_with_stats ?budget a b =
   if Structure.size a = 0 then (Some [||], { width = -1; tables = 0 })
-  else solve_with_decomposition_stats (decompose a) a b
+  else solve_with_decomposition_stats ?budget (decompose a) a b
 
-let count a b =
+let count ?(budget = Relational.Budget.unlimited) a b =
   let n = Structure.size a and m = Structure.size b in
+  Relational.Budget.check budget;
   if n = 0 then 1
   else if m = 0 then 0
   else begin
@@ -198,6 +202,7 @@ let count a b =
         in
         let rec assign i =
           if i = d then begin
+            Relational.Budget.tick budget;
             let local_ok =
               List.for_all
                 (fun (name, t) -> Relation.mem (target_rel name) (Array.map value t))

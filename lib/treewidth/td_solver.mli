@@ -9,17 +9,26 @@ open Relational
 
     This uniformizes the bounded-treewidth tractability results and, through
     canonical databases, gives the polynomial containment test [Q1 ⊆ Q2]
-    for [Q2] of bounded treewidth. *)
+    for [Q2] of bounded treewidth.
+
+    The solving entry points take an optional [?budget], ticked once per
+    enumerated bag assignment; on exhaustion they raise
+    [Budget.Exhausted]. *)
 
 val decompose : Structure.t -> Tree_decomposition.t
 (** Min-fill decomposition of the Gaifman graph of a structure. *)
 
 val solve_with_decomposition :
-  Tree_decomposition.t -> Structure.t -> Structure.t -> Homomorphism.mapping option
+  ?budget:Budget.t ->
+  Tree_decomposition.t ->
+  Structure.t ->
+  Structure.t ->
+  Homomorphism.mapping option
 (** @raise Invalid_argument if the decomposition is not valid for the
-    source. *)
+    source.
+    @raise Budget.Exhausted when [budget] runs out. *)
 
-val solve : Structure.t -> Structure.t -> Homomorphism.mapping option
+val solve : ?budget:Budget.t -> Structure.t -> Structure.t -> Homomorphism.mapping option
 (** [solve_with_decomposition] over {!decompose}. *)
 
 val exists : Structure.t -> Structure.t -> bool
@@ -29,9 +38,10 @@ type stats = {
   tables : int;  (** Total partial maps stored across bags. *)
 }
 
-val solve_with_stats : Structure.t -> Structure.t -> Homomorphism.mapping option * stats
+val solve_with_stats :
+  ?budget:Budget.t -> Structure.t -> Structure.t -> Homomorphism.mapping option * stats
 
-val count : Structure.t -> Structure.t -> int
+val count : ?budget:Budget.t -> Structure.t -> Structure.t -> int
 (** Number of homomorphisms [A -> B], by sum-product dynamic programming
     over the decomposition — polynomial for bounded treewidth, a classical
     strengthening of the existence result. *)

@@ -81,14 +81,14 @@ let solver_tests =
         (match r.Solver.route with
         | Solver.Booleanized _ -> ()
         | r -> Alcotest.fail ("unexpected route " ^ Solver.route_name r));
-        check "answer yes" true (r.Solver.answer <> None);
+        check "answer yes" true (Solver.answer r <> None);
         let r6 = Solver.solve (Workloads.directed_cycle 6) c4 in
-        check "answer no" true (r6.Solver.answer = None));
+        check "answer no" true (r6.Solver.verdict = Relational.Budget.Unsat));
     Alcotest.test_case "acyclic route for path sources" `Quick (fun () ->
         (* Disable booleanization so the source-side route is exercised. *)
         let r = Solver.solve ~booleanize_threshold:0 (Workloads.path 6) (Workloads.clique 3) in
         match r.Solver.route with
-        | Solver.Acyclic -> check "found" true (r.Solver.answer <> None)
+        | Solver.Acyclic -> check "found" true (Solver.answer r <> None)
         | r -> Alcotest.fail ("unexpected route " ^ Solver.route_name r));
     Alcotest.test_case "treewidth route for cyclic bounded-width sources" `Quick (fun () ->
         let a = Workloads.undirected_cycle 7 in
@@ -96,7 +96,7 @@ let solver_tests =
         match r.Solver.route with
         | Solver.Bounded_treewidth w ->
           check "width 2" true (w = 2);
-          check "3-colorable" true (r.Solver.answer <> None)
+          check "3-colorable" true (Solver.answer r <> None)
         | r -> Alcotest.fail ("unexpected route " ^ Solver.route_name r));
     Alcotest.test_case "consistency refutation on uncolorable dense graphs" `Quick (fun () ->
         (* K5 -> K4: treewidth 4 exceeds the cap; 2-consistency cannot refute
@@ -108,29 +108,29 @@ let solver_tests =
         (match r.Solver.route with
         | Solver.Consistency_refutation 5 -> ()
         | r -> Alcotest.fail ("unexpected route " ^ Solver.route_name r));
-        check "refuted" true (r.Solver.answer = None));
+        check "refuted" true (r.Solver.verdict = Relational.Budget.Unsat));
     Alcotest.test_case "backtracking fallback" `Quick (fun () ->
         let r =
           Solver.solve ~booleanize_threshold:0 ~max_treewidth:1 ~consistency_k:1
             (Workloads.clique 4) (Workloads.clique 4)
         in
         match r.Solver.route with
-        | Solver.Backtracking -> check "found" true (r.Solver.answer <> None)
+        | Solver.Backtracking -> check "found" true (Solver.answer r <> None)
         | r -> Alcotest.fail ("unexpected route " ^ Solver.route_name r));
     Alcotest.test_case "containment dispatch" `Quick (fun () ->
         let q1 = Cq.Parser.parse "Q(X) :- E(X, Z), E(Z, W)." in
         let q2 = Cq.Parser.parse "Q(X) :- E(X, Z)." in
-        let yes, _ = Solver.solve_containment q1 q2 in
-        let no, _ = Solver.solve_containment q2 q1 in
-        check "contained" true yes;
-        check "not contained" false no);
+        let yes = Solver.solve_containment q1 q2 in
+        let no = Solver.solve_containment q2 q1 in
+        check "contained" true (Solver.answer yes <> None);
+        check "not contained" false (Solver.answer no <> None));
     qtest ~count:200 "unified solver agrees with brute force"
       (arbitrary_pair ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
       (fun (a, b) ->
         let r = Solver.solve a b in
-        (r.Solver.answer <> None) = brute_force_exists a b
+        (Solver.answer r <> None) = brute_force_exists a b
         &&
-        match r.Solver.answer with
+        match Solver.answer r with
         | None -> true
         | Some h -> Homomorphism.is_homomorphism a b h);
     qtest ~count:100 "solver route answers agree across configurations"
@@ -138,7 +138,7 @@ let solver_tests =
       (fun (a, b) ->
         let r1 = Solver.solve ~booleanize_threshold:0 a b in
         let r2 = Solver.solve ~max_treewidth:0 ~consistency_k:3 a b in
-        (r1.Solver.answer <> None) = (r2.Solver.answer <> None));
+        (Solver.answer r1 <> None) = (Solver.answer r2 <> None));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -249,7 +249,7 @@ let graph_dichotomy_tests =
         let r = Solver.solve (Workloads.undirected_cycle 8) (Workloads.complete_bipartite 3 3) in
         match r.Solver.route with
         | Solver.Graph_target Graph_dichotomy.Polynomial ->
-          check "answer" true (r.Solver.answer <> None)
+          check "answer" true (Solver.answer r <> None)
         | rt -> Alcotest.fail ("unexpected route " ^ Solver.route_name rt));
     qtest ~count:150 "dichotomy solve agrees with brute force on tractable graphs"
       (QCheck.make
