@@ -812,8 +812,170 @@ let e14 () =
     (Cq.Chase.is_weakly_acyclic
        [ Cq.Chase.tgd ~body:[ ("E", [ "X"; "Y" ]) ] ~head:[ ("E", [ "Y"; "Z" ]) ] ])
 
+(* ------------------------------------------------------------------ *)
+(* E15 — certified verdicts: construction and checking overhead          *)
+(* ------------------------------------------------------------------ *)
+
+(* One representative refuted instance per dispatcher route, each with the
+   raw (uncertified) deciding algorithm for comparison.  The certified
+   column is the full [Core.Solver.solve] (dispatch + decision + building
+   the certificate); the check column is the trusted validator alone. *)
+
+let horn_chain n =
+  (* One(x0), x0 -> x1 -> ... -> xn, Zero(xn): a unit-propagation chain. *)
+  let vocab = Vocabulary.create [ ("One", 1); ("Zero", 1); ("Imp", 2) ] in
+  let b =
+    Structure.of_relations vocab ~size:2
+      [ ("One", [ [| 1 |] ]); ("Zero", [ [| 0 |] ]);
+        ("Imp", [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 1 |] ]) ]
+  in
+  let a = ref (Structure.create vocab ~size:(n + 1)) in
+  a := Structure.add_tuple !a "One" [| 0 |];
+  for i = 0 to n - 1 do
+    a := Structure.add_tuple !a "Imp" [| i; i + 1 |]
+  done;
+  a := Structure.add_tuple !a "Zero" [| n |];
+  (!a, b)
+
+let affine_pairs n =
+  (* n disjoint copies of an odd-parity/even-parity clash over an
+     affine-only target. *)
+  let vocab = Vocabulary.create [ ("R", 3); ("S", 3) ] in
+  let b =
+    Structure.of_relations vocab ~size:2
+      [ ("R", [ [| 1; 0; 0 |]; [| 0; 1; 0 |]; [| 0; 0; 1 |]; [| 1; 1; 1 |] ]);
+        ("S", [ [| 0; 0; 0 |]; [| 1; 1; 0 |]; [| 1; 0; 1 |]; [| 0; 1; 1 |] ]) ]
+  in
+  let a = ref (Structure.create vocab ~size:(3 * n)) in
+  for i = 0 to n - 1 do
+    a := Structure.add_tuple !a "R" [| (3 * i); (3 * i) + 1; (3 * i) + 2 |];
+    a := Structure.add_tuple !a "S" [| (3 * i); (3 * i) + 1; (3 * i) + 2 |]
+  done;
+  (!a, b)
+
+(* Vocabulary {E/2, F/1}: keeps the target non-Boolean, non-graph and
+   larger than the Booleanization cap, so the source-side routes fire. *)
+let marked_vocab = Vocabulary.create [ ("E", 2); ("F", 1) ]
+
+let marked_triangle =
+  Structure.of_relations marked_vocab ~size:5
+    [ ("E", [ [| 0; 1 |]; [| 1; 2 |]; [| 2; 0 |] ]); ("F", [ [| 3 |] ]) ]
+
+let marked_cycle n =
+  let a = ref (Structure.create marked_vocab ~size:n) in
+  for i = 0 to n - 1 do
+    a := Structure.add_tuple !a "E" [| i; (i + 1) mod n |];
+    a := Structure.add_tuple !a "F" [| i |]
+  done;
+  !a
+
+let marked_clique n =
+  let a = ref (Structure.create marked_vocab ~size:n) in
+  for i = 0 to n - 1 do
+    a := Structure.add_tuple !a "F" [| i |];
+    for j = 0 to n - 1 do
+      if i <> j then a := Structure.add_tuple !a "E" [| i; j |]
+    done
+  done;
+  !a
+
+let certify () =
+  Util.header "E15 Certified verdicts: construction and checking overhead";
+  let cases =
+    [
+      (let a, b = horn_chain 400 in
+       ("schaefer-direct", a, b, fun () ->
+           ignore (Schaefer.Uniform.solve_direct a b)));
+      (let a, b = affine_pairs 120 in
+       ("schaefer-direct", a, b, fun () ->
+           ignore (Schaefer.Uniform.solve_direct a b)));
+      (let a = Core.Workloads.undirected_cycle 401 and b = Core.Workloads.k2 in
+       ("schaefer-direct", a, b, fun () ->
+           ignore (Schaefer.Uniform.solve_direct a b)));
+      (let a = Core.Workloads.undirected_cycle 401
+       and b = Core.Workloads.complete_bipartite 2 2 in
+       ("hell-nesetril", a, b, fun () -> ignore (Core.Graph_dichotomy.solve a b)));
+      (let a = Core.Workloads.directed_cycle 402
+       and b = Core.Workloads.directed_cycle 4 in
+       ("booleanized", a, b, fun () -> ignore (Schaefer.Booleanize.solve a b)));
+      (let a = Core.Workloads.path 200 and b = Core.Workloads.path 50 in
+       ("acyclic-yannakakis", a, b, fun () ->
+           ignore (Treewidth.Hypergraph.solve_acyclic a b)));
+      (let a = marked_cycle 60 and b = marked_triangle in
+       ("treewidth-dp", a, b, fun () -> ignore (Treewidth.Td_solver.solve a b)));
+      (let a = marked_clique 5 and b = marked_triangle in
+       ("2-consistency", a, b, fun () ->
+           ignore (Pebble.Game.solve ~k:2 a b)));
+      (let a = Core.Workloads.clique 5 and b = Core.Workloads.undirected_cycle 7 in
+       ("backtracking", a, b, fun () -> ignore (Homomorphism.decide a b)));
+    ]
+  in
+  let rows = ref [] and entries = ref [] in
+  List.iter
+    (fun (expected, a, b, raw) ->
+      let r, t_solve = Util.time ~repeat:1 (fun () -> Core.Solver.solve a b) in
+      let cert =
+        match r.Core.Solver.verdict with
+        | Core.Solver.Unsat c -> c
+        | _ -> failwith ("expected unsat on the " ^ expected ^ " case")
+      in
+      assert (
+        (* The representative instance must actually land on its route. *)
+        String.length (Core.Solver.route_name r.Core.Solver.route)
+        >= String.length expected
+        && String.sub (Core.Solver.route_name r.Core.Solver.route) 0
+             (String.length expected)
+           = expected);
+      let (), t_raw = Util.time ~repeat:1 raw in
+      let ok, t_check = Util.time ~repeat:1 (fun () -> Certificate.check a b cert) in
+      assert ok;
+      let form = Certificate.describe cert and size = Certificate.size cert in
+      rows :=
+        [ expected; form; int size; f2s t_raw; f2s t_solve; f2s t_check;
+          Printf.sprintf "%.2fx" (t_solve /. t_raw) ]
+        :: !rows;
+      entries :=
+        Printf.sprintf
+          "  {\"route\": %S, \"certificate\": %S, \"size\": %d,\n\
+          \   \"raw_route_s\": %.6e, \"certified_solve_s\": %.6e, \"check_s\": %.6e}"
+          expected form size t_raw t_solve t_check
+        :: !entries)
+    cases;
+  (* The positive side: a witness is its own certificate. *)
+  let a = Core.Workloads.path 120 and b = Core.Workloads.clique 3 in
+  let r, t_solve = Util.time ~repeat:1 (fun () -> Core.Solver.solve a b) in
+  (match r.Core.Solver.verdict with
+  | Core.Solver.Sat h ->
+    let ok, t_check =
+      Util.time ~repeat:1 (fun () -> Certificate.check a b (Certificate.Witness h))
+    in
+    assert ok;
+    rows := [ "any (sat)"; "witness"; int (Array.length h); "-"; f2s t_solve;
+              f2s t_check; "-" ] :: !rows;
+    entries :=
+      Printf.sprintf
+        "  {\"route\": \"sat-witness\", \"certificate\": \"witness\", \"size\": %d,\n\
+        \   \"raw_route_s\": null, \"certified_solve_s\": %.6e, \"check_s\": %.6e}"
+        (Array.length h) t_solve t_check
+      :: !entries
+  | _ -> failwith "expected sat on the witness case");
+  Util.table
+    ~columns:
+      [ "route"; "certificate"; "size"; "raw route"; "certified solve"; "check";
+        "overhead" ]
+    (List.rev !rows);
+  let oc = open_out "BENCH_certify.json" in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.rev !entries));
+  output_string oc "\n]\n";
+  close_out oc;
+  Util.note "wrote BENCH_certify.json (certificate overhead per route).";
+  Util.note "the certified solve includes dispatch, the decision, and building the";
+  Util.note "certificate; the trusted check re-derives nothing from solver state."
+
 let all = [
   ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
   ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
   ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("ablations", ablations);
+  ("certify", certify);
 ]

@@ -95,9 +95,37 @@ let print_attempts attempts =
 (* The exit code a three-valued verdict maps to: definite answers exit 0,
    [Unknown] exits with the budget-exhausted code. *)
 let verdict_exit = function
-  | Relational.Budget.Sat _ | Relational.Budget.Unsat -> 0
-  | Relational.Budget.Unknown reason ->
+  | Core.Solver.Sat _ | Core.Solver.Unsat _ -> 0
+  | Core.Solver.Unknown reason ->
     Core.Error.exit_code (Core.Error.Budget_exhausted reason)
+
+let certify_term =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Re-validate the verdict's certificate with the trusted checker \
+           before printing: the witness homomorphism for 'sat', the \
+           refutation (unit-propagation trace, implication cycle, GF(2) \
+           combination, odd walk, emptied semi-join chain or DP table, \
+           Spoiler win, or exhausted search tree) for 'unsat'.  A rejected \
+           certificate is an internal error (exit code 5); an 'unknown' \
+           verdict carries no certificate and is unaffected.")
+
+(* Run the trusted checker on the verdict's certificate against the raw
+   instance pair.  The solver never emits a certificate it cannot build,
+   so a rejection here is a checker/solver disagreement: a bug, exit 5. *)
+let certify_against (s, t) r =
+  match Core.Solver.certificate r with
+  | None -> Format.printf "certificate: none (verdict is unknown)@."
+  | Some c ->
+    if Certificate.check s t c then
+      Format.printf "certificate: %s, accepted by the checker@."
+        (Certificate.describe c)
+    else
+      Core.Error.internal "the checker rejected the %s certificate of route %s"
+        (Certificate.describe c)
+        (Core.Solver.route_name r.Core.Solver.route)
 
 (* The Core.Error exit-code contract, shown in every subcommand's man
    page in place of cmdliner's defaults. *)
@@ -116,13 +144,13 @@ let exits =
 
 (* ------------------------------------------------------------------ *)
 
-let contain max_nodes timeout q1 q2 =
+let contain max_nodes timeout certify q1 q2 =
   run (fun () ->
       let q1 = parse_query q1 and q2 = parse_query q2 in
       let budget = budget_of ~max_nodes ~timeout in
       let r = Core.Solver.solve_containment ~budget q1 q2 in
       (match r.Core.Solver.verdict with
-      | Relational.Budget.Sat _ ->
+      | Core.Solver.Sat _ ->
         Format.printf "Q1 <= Q2: true  (route: %s)@."
           (Core.Solver.route_name r.Core.Solver.route);
         (match Cq.Containment.containment_witness q1 q2 with
@@ -133,21 +161,23 @@ let contain max_nodes timeout q1 q2 =
                (fun ppf (v, x) -> Format.fprintf ppf "%s->%s" v x))
             w
         | None -> ())
-      | Relational.Budget.Unsat ->
+      | Core.Solver.Unsat _ ->
         Format.printf "Q1 <= Q2: false  (route: %s)@."
           (Core.Solver.route_name r.Core.Solver.route)
-      | Relational.Budget.Unknown reason ->
+      | Core.Solver.Unknown reason ->
         Format.printf "Q1 <= Q2: unknown  (budget exhausted: %s)@."
           (Relational.Budget.reason_to_string reason);
         print_attempts r.Core.Solver.attempts);
+      if certify then
+        certify_against (Core.Solver.containment_instance q1 q2) r;
       verdict_exit r.Core.Solver.verdict)
 
 let contain_cmd =
   Cmd.v
     (Cmd.info "contain" ~exits ~doc:"Decide conjunctive-query containment Q1 <= Q2")
     Term.(
-      const contain $ max_nodes_term $ timeout_term $ query_arg ~docv:"Q1" 0
-      $ query_arg ~docv:"Q2" 1)
+      const contain $ max_nodes_term $ timeout_term $ certify_term
+      $ query_arg ~docv:"Q1" 0 $ query_arg ~docv:"Q2" 1)
 
 let minimize q =
   run (fun () ->
@@ -197,20 +227,22 @@ let evaluate_cmd =
     (Cmd.info "evaluate" ~exits ~doc:"Evaluate a conjunctive query on a structure")
     Term.(const evaluate $ engine $ query_arg ~docv:"Q" 0 $ structure_arg ~docv:"DB" 1)
 
-let solve max_nodes timeout a b =
+let solve max_nodes timeout certify a b =
   run (fun () ->
       let a = read_structure a and b = read_structure b in
       let budget = budget_of ~max_nodes ~timeout in
       let r = Core.Solver.solve ~budget a b in
       Format.printf "route: %s@." (Core.Solver.route_name r.Core.Solver.route);
       (match r.Core.Solver.verdict with
-      | Relational.Budget.Sat h ->
+      | Core.Solver.Sat h ->
         Format.printf "homomorphism: %a@." Relational.Tuple.pp h
-      | Relational.Budget.Unsat -> Format.printf "no homomorphism@."
-      | Relational.Budget.Unknown reason ->
+      | Core.Solver.Unsat c ->
+        Format.printf "no homomorphism (refutation: %s)@." (Certificate.describe c)
+      | Core.Solver.Unknown reason ->
         Format.printf "unknown (budget exhausted: %s)@."
           (Relational.Budget.reason_to_string reason);
         print_attempts r.Core.Solver.attempts);
+      if certify then certify_against (a, b) r;
       verdict_exit r.Core.Solver.verdict)
 
 let solve_cmd =
@@ -218,8 +250,8 @@ let solve_cmd =
     (Cmd.info "solve" ~exits
        ~doc:"Decide the existence of a homomorphism SOURCE -> TARGET (CSP)")
     Term.(
-      const solve $ max_nodes_term $ timeout_term $ structure_arg ~docv:"SOURCE" 0
-      $ structure_arg ~docv:"TARGET" 1)
+      const solve $ max_nodes_term $ timeout_term $ certify_term
+      $ structure_arg ~docv:"SOURCE" 0 $ structure_arg ~docv:"TARGET" 1)
 
 let classify b =
   run (fun () ->
@@ -356,6 +388,65 @@ let check_cmd =
        ~doc:"Evaluate a first-order formula on a structure (bounded-variable model checking)")
     Term.(const fo_check $ f $ structure_arg ~docv:"STRUCTURE" 1)
 
+let selfcheck count seed max_nodes =
+  run (fun () ->
+      if count < 0 then Core.Error.bad_input "--count must be nonnegative";
+      if max_nodes < 1 then Core.Error.bad_input "--max-nodes must be positive";
+      let report = Core.Selfcheck.run ~max_nodes ~count ~seed () in
+      Format.printf
+        "%d instance(s): %d decided by at least one route, %d skipped@."
+        report.Core.Selfcheck.instances report.Core.Selfcheck.checked
+        report.Core.Selfcheck.skipped;
+      match report.Core.Selfcheck.issues with
+      | [] ->
+        Format.printf "no disagreements, no rejected certificates@.";
+        0
+      | issues ->
+        List.iter
+          (fun { Core.Selfcheck.seed; what } ->
+            Format.printf "  seed %d: %s@." seed what)
+          issues;
+        Core.Error.internal "self-check failed on %d of %d instance(s)"
+          (List.length issues) report.Core.Selfcheck.instances)
+
+let selfcheck_cmd =
+  let count =
+    Arg.(
+      value & opt int 500
+      & info [ "count" ] ~docv:"N" ~doc:"Number of random instances to check.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED" ~doc:"First seed; instance $(i)i$(i) uses seed SEED+$(i)i$(i).")
+  in
+  let max_nodes =
+    Arg.(
+      value & opt int 50_000
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:
+            "Per-route budget on each instance; an exhausted route is \
+             skipped, never reported as a disagreement.")
+  in
+  Cmd.v
+    (Cmd.info "selfcheck" ~exits
+       ~doc:"Differential oracle: force every route on random instances"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Generates deterministic random instances (Boolean Schaefer \
+              targets, graph targets, acyclic and bounded-treewidth sources, \
+              arbitrary small structures, and containment pairs), forces \
+              every applicable solving route to answer each one \
+              independently, and validates every definite verdict's \
+              certificate with the trusted checker.  Any disagreement \
+              between two routes, or any certificate the checker rejects, \
+              is a bug in this code base: the command reports each offending \
+              seed and exits 5.";
+         ])
+    Term.(const selfcheck $ count $ seed $ max_nodes)
+
 let main =
   let doc = "conjunctive-query containment and constraint satisfaction" in
   let info_ =
@@ -382,6 +473,6 @@ let main =
   in
   Cmd.group info_
     [ contain_cmd; minimize_cmd; evaluate_cmd; solve_cmd; classify_cmd; treewidth_cmd;
-      count_cmd; game_cmd; check_cmd ]
+      count_cmd; game_cmd; check_cmd; selfcheck_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -13,6 +13,13 @@ open Relational
 val is_undirected_graph : Structure.t -> bool
 (** Exactly one relation symbol, binary, with a symmetric interpretation. *)
 
+val edge_symbol : Structure.t -> string option
+(** The single binary relation symbol, when the vocabulary has that shape. *)
+
+val two_colouring : Structure.t -> int array option
+(** A proper 2-colouring of the (symmetrized) edge relation, or [None]
+    when a loop or an odd cycle blocks it. *)
+
 val has_loop : Structure.t -> bool
 
 val is_bipartite : Structure.t -> bool

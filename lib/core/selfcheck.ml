@@ -1,0 +1,261 @@
+open Relational
+
+type issue = { seed : int; what : string }
+
+type report = { instances : int; checked : int; skipped : int; issues : issue list }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic instance generation (independent of the generators'    *)
+(* own seeding so a seed denotes the same instance forever).            *)
+(* ------------------------------------------------------------------ *)
+
+let rng seed =
+  let state = ref (((seed * 2654435761) lxor 0x5bd1e995) land 0x3FFFFFFF) in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    1 + (!state mod bound)
+
+(* One homomorphism instance per seed, rotating through the instance
+   families that exercise the dispatcher's routes. *)
+let instance seed =
+  let r = rng seed in
+  match seed mod 5 with
+  | 0 ->
+    (* Arbitrary small vocabulary and structures: the backtracking and
+       treewidth territory. *)
+    let vocab =
+      Vocabulary.create
+        (List.init (r 2) (fun i -> (Printf.sprintf "R%d" i, r 3)))
+    in
+    let a = Workloads.random_structure ~seed:(seed + 1) vocab ~size:(r 4) ~tuples:(r 6) in
+    let b = Workloads.random_structure ~seed:(seed + 2) vocab ~size:(r 3) ~tuples:(r 8) in
+    (a, b)
+  | 1 ->
+    (* Boolean Schaefer target: the Theorem 3.3/3.4 territory. *)
+    let cls =
+      List.nth Schaefer.Classify.all_classes (r 6 - 1)
+    in
+    let b = Workloads.random_schaefer_target ~seed:(seed + 1) cls ~arities:[ r 3; r 3 ] in
+    let a =
+      Workloads.random_structure ~seed:(seed + 2) (Structure.vocabulary b)
+        ~size:(1 + r 4) ~tuples:(r 6)
+    in
+    (a, b)
+  | 2 ->
+    (* Undirected-graph target: the Hell–Nešetřil territory. *)
+    let a = Workloads.erdos_renyi ~seed:(seed + 1) ~n:(2 + r 5) ~p:0.45 in
+    let b =
+      match r 4 with
+      | 1 -> Workloads.k2
+      | 2 -> Workloads.clique (1 + r 3)
+      | 3 -> Workloads.undirected_cycle (3 + r 4)
+      | _ -> Workloads.complete_bipartite (r 2) (r 2)
+    in
+    (a, b)
+  | 3 ->
+    (* Acyclic source: the Yannakakis territory. *)
+    let a = Workloads.path (1 + r 5) in
+    let b = Workloads.erdos_renyi ~seed:(seed + 1) ~n:(1 + r 4) ~p:0.5 in
+    (a, b)
+  | _ ->
+    (* Bounded-treewidth source: the Theorem 5.4 territory. *)
+    let a = Workloads.random_partial_ktree ~seed:(seed + 1) ~n:(3 + r 5) ~k:2 ~keep:0.7 in
+    let b = Workloads.clique (1 + r 3) in
+    (a, b)
+
+(* ------------------------------------------------------------------ *)
+(* Forcing every applicable route to answer the same instance.          *)
+(* ------------------------------------------------------------------ *)
+
+type claim = Yes | No | Skip
+
+let show = function Yes -> "sat" | No -> "unsat" | Skip -> "skip"
+
+(* Run one route, degrading to [Skip] on budget exhaustion or
+   inapplicability; any other exception is the caller's to report. *)
+let claim_of f = match f () with Some true -> Yes | Some false -> No | None -> Skip
+
+let routes ~budget a b =
+  let guard name f =
+    ( name,
+      match f () with
+      | c -> c
+      | exception Budget.Exhausted _ -> Skip
+      | exception Invalid_argument _ -> Skip )
+  in
+  [
+    guard "mac-backtracking" (fun () ->
+        claim_of (fun () ->
+            match Homomorphism.decide ~budget:(budget ()) a b with
+            | Budget.Sat _ -> Some true
+            | Budget.Unsat -> Some false
+            | Budget.Unknown _ -> None));
+    guard "schaefer-formula" (fun () ->
+        claim_of (fun () ->
+            match Schaefer.Uniform.solve ~budget:(budget ()) a b with
+            | Schaefer.Uniform.Hom _ -> Some true
+            | Schaefer.Uniform.No_hom -> Some false
+            | Schaefer.Uniform.Not_applicable _ -> None));
+    guard "schaefer-direct" (fun () ->
+        claim_of (fun () ->
+            match Schaefer.Uniform.solve_direct ~budget:(budget ()) a b with
+            | Schaefer.Uniform.Hom _ -> Some true
+            | Schaefer.Uniform.No_hom -> Some false
+            | Schaefer.Uniform.Not_applicable _ -> None));
+    guard "booleanized" (fun () ->
+        claim_of (fun () ->
+            if Structure.size b < 1 || Structure.size b > 4 then None
+            else
+              match Schaefer.Booleanize.solve a b with
+              | Schaefer.Booleanize.Hom _ -> Some true
+              | Schaefer.Booleanize.No_hom -> Some false
+              | Schaefer.Booleanize.Not_schaefer _ -> None));
+    guard "hell-nesetril" (fun () ->
+        claim_of (fun () ->
+            if
+              Graph_dichotomy.is_undirected_graph b
+              && Vocabulary.equal (Structure.vocabulary a) (Structure.vocabulary b)
+              && Graph_dichotomy.complexity b = Graph_dichotomy.Polynomial
+            then Some (Graph_dichotomy.solve a b <> None)
+            else None));
+    guard "acyclic-yannakakis" (fun () ->
+        claim_of (fun () ->
+            if Treewidth.Hypergraph.is_acyclic a then
+              Some (Treewidth.Hypergraph.solve_acyclic a b <> None)
+            else None));
+    guard "treewidth-dp" (fun () ->
+        claim_of (fun () ->
+            Some (Treewidth.Td_solver.solve ~budget:(budget ()) a b <> None)));
+    guard "2-consistency" (fun () ->
+        claim_of (fun () ->
+            (* One-sided: a Spoiler win refutes, a Duplicator win decides
+               nothing. *)
+            match Pebble.Game.solve ~budget:(budget ()) ~k:2 a b with
+            | Some false -> Some false
+            | _ -> None));
+  ]
+
+(* The full portfolio, with its verdict checked against its own
+   certificate by the trusted checker. *)
+let portfolio ~budget ?booleanize_threshold ?max_treewidth ?consistency_k name a b =
+  let r =
+    Solver.solve ?booleanize_threshold ?max_treewidth ?consistency_k
+      ~budget:(budget ()) a b
+  in
+  match r.Solver.verdict with
+  | Solver.Sat h ->
+    if Certificate.check a b (Certificate.Witness h) then (name, Yes, None)
+    else
+      ( name,
+        Yes,
+        Some
+          (Printf.sprintf "%s: witness of route %s rejected by the checker" name
+             (Solver.route_name r.Solver.route)) )
+  | Solver.Unsat c ->
+    if Certificate.check a b c then (name, No, None)
+    else
+      ( name,
+        No,
+        Some
+          (Printf.sprintf "%s: %s certificate of route %s rejected by the checker"
+             name (Certificate.describe c)
+             (Solver.route_name r.Solver.route)) )
+  | Solver.Unknown _ -> (name, Skip, None)
+
+let check_instance ~max_nodes seed a b =
+  let budget () = Budget.create ~max_nodes () in
+  let issues = ref [] in
+  let claims = ref [] in
+  let note what = issues := { seed; what } :: !issues in
+  let push name claim = claims := (name, claim) :: !claims in
+  let run_portfolio name ?booleanize_threshold ?max_treewidth ?consistency_k () =
+    match
+      portfolio ~budget ?booleanize_threshold ?max_treewidth ?consistency_k name a b
+    with
+    | name, claim, problem ->
+      push name claim;
+      Option.iter note problem
+    | exception Budget.Exhausted _ -> ()
+    | exception Error.Error e ->
+      note (Printf.sprintf "%s: %s" name (Error.to_string e))
+  in
+  (* The portfolio under its default policy, then steered away from its
+     preferred routes so the later routes must answer (and certify) too. *)
+  run_portfolio "portfolio" ();
+  run_portfolio "portfolio-no-schaefer" ~booleanize_threshold:0 ();
+  run_portfolio "portfolio-backtracking" ~booleanize_threshold:0 ~max_treewidth:0
+    ~consistency_k:1 ();
+  List.iter
+    (fun (name, claim) -> push name claim)
+    (routes ~budget a b);
+  (* Cross-route agreement: no Yes may meet a No. *)
+  let yes = List.filter (fun (_, c) -> c = Yes) !claims in
+  let no = List.filter (fun (_, c) -> c = No) !claims in
+  (match (yes, no) with
+  | (ny, _) :: _, (nn, _) :: _ ->
+    note
+      (Printf.sprintf "disagreement: %s says %s, %s says %s" ny (show Yes) nn
+         (show No))
+  | _ -> ());
+  let decided = List.exists (fun (_, c) -> c <> Skip) !claims in
+  (!issues, decided)
+
+(* Containment instances: certify the Chandra–Merlin reduction end to
+   end. *)
+let containment_check ~max_nodes seed =
+  let r = rng (seed + 17) in
+  let predicates = [ ("E", 2); ("P", r 2) ] in
+  let q1 =
+    Workloads.random_query ~seed:(seed + 3) ~predicates ~variables:(1 + r 3)
+      ~atoms:(r 4)
+  in
+  let q2 =
+    Workloads.random_query ~seed:(seed + 4) ~predicates ~variables:(1 + r 3)
+      ~atoms:(r 4)
+  in
+  let budget = Budget.create ~max_nodes () in
+  match Solver.solve_containment ~budget q1 q2 with
+  | r -> (
+    let s, t = Solver.containment_instance q1 q2 in
+    match Solver.certificate r with
+    | None -> ([], false)
+    | Some c ->
+      if Certificate.check s t c then ([], true)
+      else
+        ( [
+            {
+              seed;
+              what =
+                Printf.sprintf
+                  "containment: %s certificate rejected against the canonical \
+                   pair"
+                  (Certificate.describe c);
+            };
+          ],
+          true ))
+  | exception Budget.Exhausted _ -> ([], false)
+  | exception Error.Error e ->
+    ([ { seed; what = "containment: " ^ Error.to_string e } ], false)
+
+let run ?(max_nodes = 50_000) ?(count = 500) ?(seed = 0) () =
+  let instances = ref 0 and checked = ref 0 and skipped = ref 0 in
+  let issues = ref [] in
+  for i = 0 to count - 1 do
+    let s = seed + i in
+    incr instances;
+    let found, decided =
+      match
+        if s mod 7 = 6 then containment_check ~max_nodes s
+        else
+          let a, b = instance s in
+          check_instance ~max_nodes s a b
+      with
+      | r -> r
+      | exception e ->
+        ( [ { seed = s; what = "unexpected exception: " ^ Printexc.to_string e } ],
+          false )
+    in
+    if decided then incr checked else incr skipped;
+    issues := !issues @ found
+  done;
+  { instances = !instances; checked = !checked; skipped = !skipped; issues = !issues }

@@ -1,0 +1,31 @@
+(** Differential oracle over the solver routes.
+
+    For each seed a small instance is generated deterministically and
+    every applicable route is forced to answer it independently: the full
+    portfolio (under its default policy and steered past its preferred
+    routes), MAC backtracking, both Schaefer algorithms, Booleanization,
+    Hell–Nešetřil, Yannakakis, the treewidth DP, and the one-sided
+    2-consistency refutation.  Every seventh seed instead runs a random
+    containment instance end to end through {!Solver.solve_containment}.
+
+    Issues are collected, never raised: a definite disagreement between
+    two routes, a certificate the trusted {!Certificate.check} rejects, a
+    cross-route disagreement surfaced by the dispatcher as
+    [Error.Error (Internal _)], or any unexpected exception.  Budget
+    exhaustion is not an issue — an exhausted route degrades to a skip,
+    so the oracle terminates even on adversarial seeds. *)
+
+type issue = { seed : int; what : string }
+
+type report = {
+  instances : int;  (** Seeds examined. *)
+  checked : int;  (** Seeds on which at least one route gave a definite answer. *)
+  skipped : int;  (** Seeds on which every route skipped or exhausted. *)
+  issues : issue list;  (** Empty iff the solver passed the self-check. *)
+}
+
+val run : ?max_nodes:int -> ?count:int -> ?seed:int -> unit -> report
+(** [run ?max_nodes ?count ?seed ()] checks [count] (default 500)
+    consecutive seeds starting at [seed] (default 0), giving every route
+    invocation its own fresh budget of [max_nodes] (default 50_000)
+    ticks. *)

@@ -19,7 +19,10 @@ let route_name = function
   | Consistency_refutation k -> Printf.sprintf "%d-consistency" k
   | Backtracking -> "backtracking"
 
-type verdict = Homomorphism.mapping Budget.outcome
+type verdict =
+  | Sat of Homomorphism.mapping
+  | Unsat of Certificate.t
+  | Unknown of Budget.exhausted_reason
 
 type attempt_outcome =
   | Decided
@@ -31,13 +34,28 @@ type attempt = { route : route; nodes : int; outcome : attempt_outcome }
 
 type result = { verdict : verdict; route : route; attempts : attempt list }
 
-let answer r = Budget.outcome_to_option r.verdict
+let answer r = match r.verdict with Sat h -> Some h | Unsat _ | Unknown _ -> None
+
+let certificate r =
+  match r.verdict with
+  | Sat h -> Some (Certificate.Witness h)
+  | Unsat c -> Some c
+  | Unknown _ -> None
 
 let verdict_name = function
-  | Budget.Sat _ -> "sat"
-  | Budget.Unsat -> "unsat"
-  | Budget.Unknown reason ->
+  | Sat _ -> "sat"
+  | Unsat _ -> "unsat"
+  | Unknown reason ->
     Printf.sprintf "unknown (%s)" (Budget.reason_to_string reason)
+
+(* What a route reports before certification: a witness, or a refutation
+   together with the (possibly expensive) construction of its checkable
+   certificate.  Certification runs under the same budget slice as the
+   route itself; if it exhausts the slice, the answer is withheld and the
+   dispatcher falls through, exactly as for an exhausted route. *)
+type route_answer =
+  | Found of Homomorphism.mapping
+  | Refuted of (Budget.t -> Certificate.t option)
 
 let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
     ?(budget = Budget.unlimited) a b =
@@ -55,15 +73,31 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
     | None -> Budget.slice budget ()
     | Some r -> Budget.slice budget ~max_nodes:(max 1 (r / frac)) ()
   in
-  (* Run one route under its own budget slice.  [f] answers [Some verdict]
+  (* Run one route under its own budget slice.  [f] answers [Some answer]
      when the route decided, [None] when the instance is outside it;
-     budget exhaustion inside the route falls through to the next one. *)
+     budget exhaustion — in the route or while building the refutation
+     certificate — falls through to the next route.  A refutation whose
+     certificate cannot be built at all is a cross-route disagreement and
+     fails loudly. *)
   let attempt ?frac route f =
     let s = match frac with None -> Budget.slice budget () | Some k -> slice_for k in
     match f s with
-    | Some v ->
+    | Some (Found h) ->
       record route (Budget.spent s) Decided;
-      Some (finish v route)
+      Some (finish (Sat h) route)
+    | Some (Refuted build) -> (
+      match build s with
+      | Some cert ->
+        record route (Budget.spent s) Decided;
+        Some (finish (Unsat cert) route)
+      | None ->
+        Error.internal
+          "route %s refuted the instance but no checkable certificate exists \
+           (cross-route disagreement)"
+          (route_name route)
+      | exception Budget.Exhausted reason ->
+        record route (Budget.spent s) (Exhausted reason);
+        None)
     | None ->
       record route (Budget.spent s) Inapplicable;
       None
@@ -71,7 +105,6 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
       record route (Budget.spent s) (Exhausted reason);
       None
   in
-  let of_option = function Some h -> Budget.Sat h | None -> Budget.Unsat in
 
   let try_schaefer () =
     if Structure.size b <> 2 then None
@@ -81,8 +114,9 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
       | Some cls ->
         attempt (Schaefer_direct cls) (fun s ->
             match Schaefer.Uniform.solve_direct ~budget:s a b with
-            | Schaefer.Uniform.Hom h -> Some (Budget.Sat h)
-            | Schaefer.Uniform.No_hom -> Some Budget.Unsat
+            | Schaefer.Uniform.Hom h -> Some (Found h)
+            | Schaefer.Uniform.No_hom ->
+              Some (Refuted (fun s -> Certify.of_schaefer_direct ~budget:s a b cls))
             | Schaefer.Uniform.Not_applicable _ -> None)
   in
   let try_graph () =
@@ -93,7 +127,9 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
     then
       attempt (Graph_target Graph_dichotomy.Polynomial) (fun s ->
           Budget.check s;
-          Some (of_option (Graph_dichotomy.solve a b)))
+          match Graph_dichotomy.solve a b with
+          | Some h -> Some (Found h)
+          | None -> Some (Refuted (fun _ -> Certify.of_graph a b)))
     else None
   in
   let try_booleanize () =
@@ -105,9 +141,10 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
       in
       match Schaefer.Booleanize.solve a b with
       | Schaefer.Booleanize.Hom h ->
-        attempt (Booleanized (classify ())) (fun _ -> Some (Budget.Sat h))
+        attempt (Booleanized (classify ())) (fun _ -> Some (Found h))
       | Schaefer.Booleanize.No_hom ->
-        attempt (Booleanized (classify ())) (fun _ -> Some Budget.Unsat)
+        attempt (Booleanized (classify ())) (fun _ ->
+            Some (Refuted (fun s -> Certify.of_booleanized ~budget:s a b)))
       | Schaefer.Booleanize.Not_schaefer _ -> None
       | exception Invalid_argument _ -> None
   in
@@ -115,7 +152,9 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
     if Treewidth.Hypergraph.is_acyclic a then
       attempt Acyclic (fun s ->
           Budget.check s;
-          Some (of_option (Treewidth.Hypergraph.solve_acyclic a b)))
+          match Treewidth.Hypergraph.solve_acyclic a b with
+          | Some h -> Some (Found h)
+          | None -> Some (Refuted (fun _ -> Certify.of_acyclic a b)))
     else None
   in
   let try_treewidth () =
@@ -125,8 +164,9 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
       if w > max_treewidth then None
       else
         attempt ~frac:4 (Bounded_treewidth w) (fun s ->
-            Some
-              (of_option (Treewidth.Td_solver.solve_with_decomposition ~budget:s td a b)))
+            match Treewidth.Td_solver.solve_with_decomposition ~budget:s td a b with
+            | Some h -> Some (Found h)
+            | None -> Some (Refuted (fun _ -> Certify.of_treewidth td a b)))
     | exception Budget.Exhausted reason ->
       record (Bounded_treewidth max_treewidth) 0 (Exhausted reason);
       None
@@ -134,11 +174,11 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
   let try_consistency () =
     let route = Consistency_refutation consistency_k in
     let s = slice_for 4 in
-    match Pebble.Game.winning_family ~budget:s ~k:consistency_k a b with
-    | [] ->
+    match Pebble.Game.winning_family_with_trace ~budget:s ~k:consistency_k a b with
+    | [], trace ->
       record route (Budget.spent s) Decided;
-      Some (finish Budget.Unsat route)
-    | family ->
+      Some (finish (Unsat (Certify.of_consistency ~trace b)) route)
+    | family, _ ->
       (* Sound pruning: a pair [(x, v)] whose singleton configuration was
          removed from the winning family lies on no homomorphism, so the
          backtracking route may skip it outright. *)
@@ -156,16 +196,33 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
   in
   let backtracking () =
     let s = Budget.slice budget () in
-    match Homomorphism.decide ?restrict:!restriction ~budget:s a b with
-    | Budget.Unknown reason ->
-      record Backtracking (Budget.spent s) (Exhausted reason);
+    let global reason =
       (* Prefer the global cause (deadline/cancellation) when the whole
          portfolio is spent. *)
-      let reason = match Budget.status budget with Some r -> r | None -> reason in
-      finish (Budget.Unknown reason) Backtracking
-    | v ->
+      match Budget.status budget with Some r -> r | None -> reason
+    in
+    match Homomorphism.decide ?restrict:!restriction ~budget:s a b with
+    | Budget.Sat h ->
       record Backtracking (Budget.spent s) Decided;
-      finish v Backtracking
+      finish (Sat h) Backtracking
+    | Budget.Unsat -> (
+      (* Certify with an independent exhaustive search under what remains
+         of the slice; a witness surfacing here means MAC and the
+         certifying search disagree. *)
+      match Certify.of_backtracking ~budget:s a b with
+      | Some cert ->
+        record Backtracking (Budget.spent s) Decided;
+        finish (Unsat cert) Backtracking
+      | None ->
+        Error.internal
+          "backtracking refuted the instance but the certifying search found \
+           a homomorphism (cross-route disagreement)"
+      | exception Budget.Exhausted reason ->
+        record Backtracking (Budget.spent s) (Exhausted reason);
+        finish (Unknown (global reason)) Backtracking)
+    | Budget.Unknown reason ->
+      record Backtracking (Budget.spent s) (Exhausted reason);
+      finish (Unknown (global reason)) Backtracking
   in
   let ( <|> ) r f = match r with Some _ -> r | None -> f () in
   let result =
@@ -179,11 +236,15 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
   match result with Some r -> r | None -> backtracking ()
 
 let exists a b =
-  match (solve a b).verdict with Budget.Sat _ -> true | _ -> false
+  match (solve a b).verdict with Sat _ -> true | Unsat _ | Unknown _ -> false
 
-let solve_containment ?budget q1 q2 =
+let containment_instance q1 q2 =
   if Cq.Query.arity q1 <> Cq.Query.arity q2 then
     invalid_arg "Solver.solve_containment: head arities differ";
   let d1, _ = Cq.Canonical.database q1 in
   let d2, _ = Cq.Canonical.database q2 in
-  solve ?budget d2 d1
+  (d2, d1)
+
+let solve_containment ?budget q1 q2 =
+  let s, t = containment_instance q1 q2 in
+  solve ?budget s t

@@ -17,6 +17,21 @@ open Relational
     All routes agree on the answer; the benches measure how much each one
     saves on its own instance class.
 
+    {2 Certified verdicts}
+
+    Every definite answer is {e proof-carrying}: [Sat] returns the witness
+    homomorphism and [Unsat] returns a refutation certificate in the shape
+    native to the deciding route (a unit-propagation trace, an implication
+    cycle, a GF(2) combination, an odd walk, an emptied semi-join chain or
+    DP table, a Spoiler-win derivation, or an exhausted search tree — see
+    {!Certificate.t}).  The trusted, route-independent
+    [Certificate.check a b] validates either against the raw instance.  A
+    route whose refutation cannot be certified within the budget slice is
+    treated like an exhausted route (the dispatcher falls through); a
+    refutation for which {e no} certificate exists raises
+    [Error.Error (Internal _)] — that is a cross-route disagreement, i.e. a
+    solver bug surfacing loudly instead of a silently wrong answer.
+
     {2 Budgets and graceful degradation}
 
     [solve ?budget] is the {e portfolio degradation} layer.  The budget is
@@ -43,9 +58,15 @@ type route =
 
 val route_name : route -> string
 
-type verdict = Homomorphism.mapping Budget.outcome
-(** [Sat h] — the homomorphism [h] exists; [Unsat] — provably none;
-    [Unknown reason] — every route exhausted its budget slice. *)
+type verdict =
+  | Sat of Homomorphism.mapping
+      (** The homomorphism exists; the witness is its own certificate. *)
+  | Unsat of Certificate.t
+      (** Provably none: a refutation checkable by {!Certificate.check}
+          against the raw instance. *)
+  | Unknown of Budget.exhausted_reason
+      (** Every route exhausted its budget slice (no certificate — an
+          [Unknown] makes no claim to certify). *)
 
 type attempt_outcome =
   | Decided  (** This route produced the final verdict. *)
@@ -73,6 +94,10 @@ type result = {
 val answer : result -> Homomorphism.mapping option
 (** The witness when the verdict is [Sat]; [None] otherwise. *)
 
+val certificate : result -> Certificate.t option
+(** The certificate of a definite verdict: [Witness h] for [Sat h], the
+    refutation for [Unsat]; [None] for [Unknown]. *)
+
 val verdict_name : verdict -> string
 (** ["sat"], ["unsat"] or ["unknown (<reason>)"]. *)
 
@@ -94,9 +119,18 @@ val solve :
 val exists : Structure.t -> Structure.t -> bool
 (** Unbudgeted existence (always definitive). *)
 
+val containment_instance : Cq.Query.t -> Cq.Query.t -> Structure.t * Structure.t
+(** The homomorphism instance deciding [Q1 ⊆ Q2] (Chandra–Merlin): the
+    canonical database of [Q2] as source, that of [Q1] as target.  The
+    certificate of {!solve_containment} checks against exactly this pair.
+    @raise Invalid_argument when the head arities differ. *)
+
 val solve_containment : ?budget:Budget.t -> Cq.Query.t -> Cq.Query.t -> result
 (** [Q1 ⊆ Q2] through the same dispatcher: restrictions on [Q2] surface as
     source-side structure (treewidth/acyclicity), restrictions on [Q1] as
     target-side structure (Schaefer after Booleanization).  [Sat _] means
-    contained, [Unsat] not contained, [Unknown] out of budget.
+    contained, [Unsat] not contained, [Unknown] out of budget; the
+    certificate translates through Lemma 3.5's encoding unchanged, since
+    it speaks about the canonical-database pair of
+    {!containment_instance}.
     @raise Invalid_argument when the head arities differ. *)

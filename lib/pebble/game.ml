@@ -39,12 +39,12 @@ let tuples_within a dom_mem =
          if Array.for_all dom_mem t then (name, t) :: acc else acc)
        a [])
 
-let run ?(budget = Budget.unlimited) ~k a b =
+let run_traced ?(budget = Budget.unlimited) ~k a b =
   if k < 1 then invalid_arg "Game: k must be positive";
   Budget.check budget;
   let n = Structure.size a and m = Structure.size b in
-  if n = 0 then ([ [] ], { initial_configs = 1; removed = 0 })
-  else if m = 0 then ([], { initial_configs = 0; removed = 0 })
+  if n = 0 then ([ [] ], [], { initial_configs = 1; removed = 0 })
+  else if m = 0 then ([], [], { initial_configs = 0; removed = 0 })
   else begin
     let family : (config, unit) Hashtbl.t = Hashtbl.create 1024 in
     (* Generate all partial homomorphisms with |dom| <= k. *)
@@ -89,37 +89,53 @@ let run ?(budget = Budget.unlimited) ~k a b =
        restrictions whose forth witnesses vanished. *)
     let removed = ref 0 in
     let queue = Queue.create () in
-    let remove config =
+    (* Chronological log of forth-property failures: [(config, x)] records
+       that, at removal time, no extension of [config] by a value for [x]
+       remained in the family.  Closure removals (supersets of an already
+       removed configuration) need no log entry: they always contain an
+       earlier forth-removed configuration, which is what the certificate
+       checker looks for. *)
+    let trace = ref [] in
+    let remove ?pivot config =
       if Hashtbl.mem family config then begin
         Hashtbl.remove family config;
         incr removed;
+        (match pivot with
+        | Some x -> trace := (config, x) :: !trace
+        | None -> ());
         Queue.add config queue
       end
     in
-    let has_forth config =
+    (* First source element (if any) that the configuration cannot be
+       extended to within the current family. *)
+    let forth_failure config =
       Budget.tick budget;
-      List.length config >= k
-      ||
-      let dom = domain config in
-      let ok = ref true in
-      for x = 0 to n - 1 do
-        if !ok && not (List.mem x dom) then begin
-          let extendable = ref false in
-          for v = 0 to m - 1 do
-            if (not !extendable) && Hashtbl.mem family (insert (x, v) config) then
-              extendable := true
-          done;
-          if not !extendable then ok := false
-        end
-      done;
-      !ok
+      if List.length config >= k then None
+      else begin
+        let dom = domain config in
+        let failure = ref None in
+        for x = 0 to n - 1 do
+          if !failure = None && not (List.mem x dom) then begin
+            let extendable = ref false in
+            for v = 0 to m - 1 do
+              if (not !extendable) && Hashtbl.mem family (insert (x, v) config)
+              then extendable := true
+            done;
+            if not !extendable then failure := Some x
+          end
+        done;
+        !failure
+      end
     in
     let initial_bad =
       Hashtbl.fold
-        (fun config () acc -> if has_forth config then acc else config :: acc)
+        (fun config () acc ->
+          match forth_failure config with
+          | Some x -> (config, x) :: acc
+          | None -> acc)
         family []
     in
-    List.iter remove initial_bad;
+    List.iter (fun (config, x) -> remove ~pivot:x config) initial_bad;
     while not (Queue.is_empty queue) do
       Budget.tick budget;
       let config = Queue.pop queue in
@@ -135,14 +151,25 @@ let run ?(budget = Budget.unlimited) ~k a b =
       List.iter
         (fun (x, _) ->
           let smaller = remove_at x config in
-          if Hashtbl.mem family smaller && not (has_forth smaller) then remove smaller)
+          if Hashtbl.mem family smaller then
+            match forth_failure smaller with
+            | Some piv -> remove ~pivot:piv smaller
+            | None -> ())
         config
     done;
     let surviving = Hashtbl.fold (fun config () acc -> config :: acc) family [] in
-    (surviving, { initial_configs; removed = !removed })
+    (surviving, List.rev !trace, { initial_configs; removed = !removed })
   end
 
+let run ?budget ~k a b =
+  let family, _, stats = run_traced ?budget ~k a b in
+  (family, stats)
+
 let winning_family ?budget ~k a b = fst (run ?budget ~k a b)
+
+let winning_family_with_trace ?budget ~k a b =
+  let family, trace, _ = run_traced ?budget ~k a b in
+  (family, trace)
 
 let duplicator_wins_with_stats ?budget ~k a b =
   let family, stats = run ?budget ~k a b in

@@ -31,6 +31,19 @@ val winning_family :
     when the Spoiler wins.  @raise Invalid_argument when [k < 1].
     @raise Budget.Exhausted when [budget] runs out. *)
 
+val winning_family_with_trace :
+  ?budget:Budget.t ->
+  k:int ->
+  Structure.t ->
+  Structure.t ->
+  config list * (config * int) list
+(** The winning family together with the chronological log of forth-property
+    failures: an entry [(config, x)] records that [config] was removed
+    because no extension by a value for [x] remained in the family at that
+    moment.  When the family comes back empty, the log is a Spoiler-win
+    derivation ending in the empty configuration, and [Certificate.check]
+    can replay it against the raw instance ([Spoiler_win] certificates). *)
+
 val duplicator_wins : ?budget:Budget.t -> k:int -> Structure.t -> Structure.t -> bool
 
 val spoiler_wins : ?budget:Budget.t -> k:int -> Structure.t -> Structure.t -> bool

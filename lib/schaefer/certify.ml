@@ -1,0 +1,301 @@
+open Relational
+module Iset = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Generic: a fact of [A] over an empty (or absent, or arity-clashing) *)
+(* relation of [B] refutes by itself.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let empty_relation_refutation a b =
+  Structure.fold_tuples
+    (fun name t acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        let no_image =
+          match Structure.relation b name with
+          | r ->
+            Relation.is_empty r
+            || Relation.for_all (fun t' -> Array.length t' <> Array.length t) r
+          | exception Not_found -> true
+        in
+        if no_image then
+          Some (Certificate.Empty_relation { Certificate.symbol = name; fact = t })
+        else None)
+    a None
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation with origins.  Mirrors [Uniform.build_formula] but    *)
+(* keeps, for every clause and equation, the fact of [A] it came from, *)
+(* so that the trusted checker can re-derive its entailment from raw   *)
+(* tuples.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type iformula =
+  | Clauses of Certificate.iclause list
+  | Equations of Certificate.iequation list
+
+let target_relation b name arity =
+  match Structure.relation b name with
+  | r -> Boolean_relation.of_relation r
+  | exception Not_found -> Boolean_relation.create arity []
+
+let used_symbols a =
+  List.filter
+    (fun (name, _) -> not (Relation.is_empty (Structure.relation a name)))
+    (Vocabulary.symbols (Structure.vocabulary a))
+
+let instantiate_clause origin (t : Tuple.t) clause =
+  let lits =
+    List.sort_uniq compare
+      (List.map
+         (fun (l : Cnf.literal) ->
+           { Certificate.elem = t.(l.var); sign = l.sign })
+         clause)
+  in
+  { Certificate.clause_of = origin; lits }
+
+let instantiate_equation origin (t : Tuple.t) (e : Gf2.equation) =
+  let parity = Hashtbl.create 8 in
+  Array.iteri
+    (fun p c ->
+      if c then
+        Hashtbl.replace parity t.(p)
+          (not (Option.value ~default:false (Hashtbl.find_opt parity t.(p)))))
+    e.Gf2.coeffs;
+  let elems =
+    List.sort Int.compare
+      (Hashtbl.fold (fun x odd acc -> if odd then x :: acc else acc) parity [])
+  in
+  { Certificate.equation_of = origin; elems; rhs = e.Gf2.rhs }
+
+let instantiated ?(budget = Budget.unlimited) a b cls =
+  let clausal = ref [] and linear = ref [] in
+  List.iter
+    (fun (name, arity) ->
+      let def = Define.defining (target_relation b name arity) cls in
+      Relation.iter
+        (fun t ->
+          Budget.tick budget;
+          let origin = { Certificate.symbol = name; fact = t } in
+          match def with
+          | Define.Clausal f ->
+            List.iter
+              (fun clause -> clausal := instantiate_clause origin t clause :: !clausal)
+              f.Cnf.clauses
+          | Define.Linear s ->
+            List.iter
+              (fun e -> linear := instantiate_equation origin t e :: !linear)
+              s.Gf2.equations)
+        (Structure.relation a name))
+    (used_symbols a);
+  match cls with
+  | Classify.Affine -> Equations (List.rev !linear)
+  | _ -> Clauses (List.rev !clausal)
+
+(* ------------------------------------------------------------------ *)
+(* Horn / dual Horn: unit-propagation refutation trace.                *)
+(* ------------------------------------------------------------------ *)
+
+let unit_refutation ?(budget = Budget.unlimited) clauses =
+  let assigned : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let lit_true (l : Certificate.lit) =
+    Hashtbl.find_opt assigned l.Certificate.elem = Some l.Certificate.sign
+  in
+  let lit_false (l : Certificate.lit) =
+    Hashtbl.find_opt assigned l.Certificate.elem = Some (not l.Certificate.sign)
+  in
+  let steps = ref [] in
+  let conflict = ref None in
+  let progress = ref true in
+  while !conflict = None && !progress do
+    progress := false;
+    List.iter
+      (fun (c : Certificate.iclause) ->
+        if !conflict = None then begin
+          Budget.tick budget;
+          let lits = c.Certificate.lits in
+          if not (List.exists lit_true lits) then
+            match
+              List.sort_uniq compare
+                (List.filter (fun l -> not (lit_false l)) lits)
+            with
+            | [] -> begin
+              steps := { Certificate.clause = c; forces = None } :: !steps;
+              conflict := Some ()
+            end
+            | [ l ] ->
+              Hashtbl.replace assigned l.Certificate.elem l.Certificate.sign;
+              steps := { Certificate.clause = c; forces = Some l } :: !steps;
+              progress := true
+            | _ -> ()
+        end)
+      clauses
+  done;
+  match !conflict with
+  | Some () -> Some (Certificate.Unit_refutation (List.rev !steps))
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Bijunctive: implication-graph path  p => * not p  and back.         *)
+(* ------------------------------------------------------------------ *)
+
+let implication_cycle ?(budget = Budget.unlimited) clauses =
+  let negate (l : Certificate.lit) = { l with Certificate.sign = not l.sign } in
+  (* Implication edges [(from, to, clause)] from unit and binary clauses;
+     wider clauses cannot appear for a bijunctive target, and tautologies
+     contribute nothing. *)
+  let edges =
+    List.concat_map
+      (fun (c : Certificate.iclause) ->
+        match List.sort_uniq compare c.Certificate.lits with
+        | [ l ] -> [ (negate l, l, c) ]
+        | [ l1; l2 ] when l1 <> negate l2 ->
+          [ (negate l1, l2, c); (negate l2, l1, c) ]
+        | _ -> [])
+      clauses
+  in
+  let path start goal =
+    let parent = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    Hashtbl.replace parent start None;
+    Queue.add start queue;
+    let found = ref (Hashtbl.mem parent goal && start = goal) in
+    while (not !found) && not (Queue.is_empty queue) do
+      Budget.tick budget;
+      let cur = Queue.pop queue in
+      List.iter
+        (fun (src, dst, c) ->
+          if src = cur && not (Hashtbl.mem parent dst) then begin
+            Hashtbl.replace parent dst (Some (cur, c));
+            Queue.add dst queue;
+            if dst = goal then found := true
+          end)
+        edges
+    done;
+    if not (Hashtbl.mem parent goal) || start = goal then None
+    else begin
+      let rec build acc l =
+        match Hashtbl.find parent l with
+        | None -> acc
+        | Some (prev, c) -> build ((c, l) :: acc) prev
+      in
+      Some (build [] goal)
+    end
+  in
+  let vars =
+    List.sort_uniq Int.compare
+      (List.concat_map
+         (fun (c : Certificate.iclause) ->
+           List.map (fun (l : Certificate.lit) -> l.Certificate.elem)
+             c.Certificate.lits)
+         clauses)
+  in
+  let rec try_vars = function
+    | [] -> None
+    | x :: rest -> (
+      let p = { Certificate.elem = x; sign = true } in
+      match (path p (negate p), path (negate p) p) with
+      | Some forward, Some backward ->
+        Some (Certificate.Implication_cycle { pivot = p; forward; backward })
+      | _ -> try_vars rest)
+  in
+  try_vars vars
+
+(* ------------------------------------------------------------------ *)
+(* Affine: Gaussian elimination tracking which original equations       *)
+(* combine into 0 = 1.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let affine_contradiction ?(budget = Budget.unlimited) equations =
+  let originals = Array.of_list equations in
+  let sym_diff s s' = Iset.diff (Iset.union s s') (Iset.inter s s') in
+  (* Row echelon over GF(2), keyed by pivot element: every stored row's
+     pivot is its minimum element, so each reduction step strictly
+     increases the row's minimum — reduction terminates and is complete
+     (an unreducible empty row with rhs = 1 exists iff the system is
+     inconsistent).  Each row carries the index set of the original
+     equations it combines. *)
+  let pivots : (int, Iset.t * bool * Iset.t) Hashtbl.t = Hashtbl.create 64 in
+  let result = ref None in
+  Array.iteri
+    (fun i (e : Certificate.iequation) ->
+      if !result = None then begin
+        let coeffs = ref (Iset.of_list e.Certificate.elems)
+        and rhs = ref e.Certificate.rhs
+        and combo = ref (Iset.singleton i) in
+        let stop = ref false in
+        while not !stop do
+          Budget.tick budget;
+          if Iset.is_empty !coeffs then begin
+            if !rhs then result := Some !combo;
+            stop := true
+          end
+          else
+            let m = Iset.min_elt !coeffs in
+            match Hashtbl.find_opt pivots m with
+            | Some (pc, pr, pcombo) ->
+              coeffs := sym_diff !coeffs pc;
+              if pr then rhs := not !rhs;
+              combo := sym_diff !combo pcombo
+            | None ->
+              Hashtbl.add pivots m (!coeffs, !rhs, !combo);
+              stop := true
+        done
+      end)
+    originals;
+  Option.map
+    (fun combo ->
+      Certificate.Affine_contradiction
+        (List.map (fun i -> originals.(i)) (Iset.elements combo)))
+    !result
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let class_refutation ?budget a b cls =
+  match cls with
+  | Classify.Zero_valid | Classify.One_valid -> None
+  | Classify.Horn | Classify.Dual_horn -> (
+    match instantiated ?budget a b cls with
+    | Clauses cs -> unit_refutation ?budget cs
+    | Equations _ -> None)
+  | Classify.Bijunctive -> (
+    match instantiated ?budget a b cls with
+    | Clauses cs -> (
+      (* Units alone may already close the refutation; try the cheap
+         propagation trace first, then the two-literal cycle. *)
+      match unit_refutation ?budget cs with
+      | Some c -> Some c
+      | None -> implication_cycle ?budget cs)
+    | Equations _ -> None)
+  | Classify.Affine -> (
+    match instantiated ?budget a b cls with
+    | Equations es -> affine_contradiction ?budget es
+    | Clauses _ -> None)
+
+let refutation ?budget a b cls =
+  match empty_relation_refutation a b with
+  | Some c -> Some c
+  | None -> (
+    match class_refutation ?budget a b cls with
+    | Some c -> Some c
+    | None -> None
+    | exception Invalid_argument _ -> None)
+
+let booleanized_refutation ?budget a b =
+  match empty_relation_refutation a b with
+  | Some c -> Some c
+  | None ->
+    if Structure.size b < 1 then None
+    else begin
+      let bits = Booleanize.bits_needed (Structure.size b) in
+      let ab, bb = Booleanize.encode_pair a b in
+      match Classify.classify bb with
+      | None | Some (Classify.Zero_valid | Classify.One_valid) -> None
+      | Some cls ->
+        Option.map
+          (fun inner -> Certificate.Via_booleanization { bits; inner })
+          (refutation ?budget ab bb cls)
+    end

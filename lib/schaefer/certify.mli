@@ -1,0 +1,36 @@
+open Relational
+
+(** Refutation-certificate construction for the Schaefer routes
+    (Theorems 3.3/3.4 and the Booleanization of Lemma 3.5).
+
+    These builders are {e untrusted}: they re-derive an [Unsat] answer in a
+    form that [Certificate.check] can validate against the raw instance.
+    [None] means no certificate of the requested shape could be built —
+    which, for a genuinely unsatisfiable instance of the right class, does
+    not happen (unit propagation is refutation-complete for Horn and dual
+    Horn, the implication cycle exists for every unsatisfiable 2-CNF, and
+    Gaussian elimination derives [0 = 1] from every inconsistent GF(2)
+    system). *)
+
+val empty_relation_refutation :
+  Structure.t -> Structure.t -> Certificate.t option
+(** A fact of [A] whose symbol has an empty, absent, or arity-clashing
+    relation in [B]; the cheapest refutation, tried first everywhere. *)
+
+val refutation :
+  ?budget:Budget.t ->
+  Structure.t ->
+  Structure.t ->
+  Classify.schaefer_class ->
+  Certificate.t option
+(** Certificate for an [Unsat] answer of {!Uniform.solve} /
+    {!Uniform.solve_direct} on a Boolean target of class [cls]:
+    a unit-propagation trace (Horn, dual Horn), an implication cycle
+    (bijunctive), or a GF(2) combination summing to [0 = 1] (affine).
+    @raise Budget.Exhausted when [budget] runs out. *)
+
+val booleanized_refutation :
+  ?budget:Budget.t -> Structure.t -> Structure.t -> Certificate.t option
+(** Certificate for an [Unsat] answer of {!Booleanize.solve}: a
+    [Via_booleanization] wrapper around a refutation of the encoded
+    Boolean pair.  @raise Budget.Exhausted when [budget] runs out. *)

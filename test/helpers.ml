@@ -4,9 +4,17 @@
 
 open Relational
 
+(* Every witness this module hands out goes through the trusted
+   certificate checker, so no test asserts satisfiability on the word of
+   solver code alone. *)
+let certified_witness a b h =
+  if not (Certificate.check a b (Certificate.Witness h)) then
+    Alcotest.failf "witness %a rejected by the certificate checker" Tuple.pp h;
+  h
+
 let brute_force_hom a b =
   let n = Structure.size a and m = Structure.size b in
-  if n = 0 then Some [||]
+  if n = 0 then Some (certified_witness a b [||])
   else if m = 0 then None
   else begin
     let h = Array.make n 0 in
@@ -21,12 +29,28 @@ let brute_force_hom a b =
       end
     in
     let rec loop () =
-      if Homomorphism.is_homomorphism a b h then Some (Array.copy h)
+      if Homomorphism.is_homomorphism a b h then
+        Some (certified_witness a b (Array.copy h))
       else if next (n - 1) then loop ()
       else None
     in
     loop ()
   end
+
+(* The solver's three-valued answer with its certificate validated: fails
+   the test outright on any certificate the checker rejects. *)
+let certified_verdict a b (r : Core.Solver.result) =
+  match r.Core.Solver.verdict with
+  | Core.Solver.Sat h ->
+    ignore (certified_witness a b h);
+    Some true
+  | Core.Solver.Unsat c ->
+    if not (Certificate.check a b c) then
+      Alcotest.failf "%s certificate of route %s rejected by the checker"
+        (Certificate.describe c)
+        (Core.Solver.route_name r.Core.Solver.route);
+    Some false
+  | Core.Solver.Unknown _ -> None
 
 let brute_force_exists a b = brute_force_hom a b <> None
 

@@ -83,7 +83,8 @@ let solver_tests =
         | r -> Alcotest.fail ("unexpected route " ^ Solver.route_name r));
         check "answer yes" true (Solver.answer r <> None);
         let r6 = Solver.solve (Workloads.directed_cycle 6) c4 in
-        check "answer no" true (r6.Solver.verdict = Relational.Budget.Unsat));
+        check "answer no" true
+          (certified_verdict (Workloads.directed_cycle 6) c4 r6 = Some false));
     Alcotest.test_case "acyclic route for path sources" `Quick (fun () ->
         (* Disable booleanization so the source-side route is exercised. *)
         let r = Solver.solve ~booleanize_threshold:0 (Workloads.path 6) (Workloads.clique 3) in
@@ -108,7 +109,9 @@ let solver_tests =
         (match r.Solver.route with
         | Solver.Consistency_refutation 5 -> ()
         | r -> Alcotest.fail ("unexpected route " ^ Solver.route_name r));
-        check "refuted" true (r.Solver.verdict = Relational.Budget.Unsat));
+        check "refuted" true
+          (certified_verdict (Workloads.clique 5) (Workloads.clique 4) r
+          = Some false));
     Alcotest.test_case "backtracking fallback" `Quick (fun () ->
         let r =
           Solver.solve ~booleanize_threshold:0 ~max_treewidth:1 ~consistency_k:1
@@ -124,15 +127,12 @@ let solver_tests =
         let no = Solver.solve_containment q2 q1 in
         check "contained" true (Solver.answer yes <> None);
         check "not contained" false (Solver.answer no <> None));
-    qtest ~count:200 "unified solver agrees with brute force"
+    qtest ~count:200 "unified solver agrees with brute force, certified"
       (arbitrary_pair ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
       (fun (a, b) ->
-        let r = Solver.solve a b in
-        (Solver.answer r <> None) = brute_force_exists a b
-        &&
-        match Solver.answer r with
-        | None -> true
-        | Some h -> Homomorphism.is_homomorphism a b h);
+        (* [certified_verdict] also runs the verdict's certificate through
+           the trusted checker. *)
+        certified_verdict a b (Solver.solve a b) = Some (brute_force_exists a b));
     qtest ~count:100 "solver route answers agree across configurations"
       (arbitrary_pair ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
       (fun (a, b) ->

@@ -99,9 +99,9 @@ let budget_tests =
    same answer or [Unknown]; any [Sat] witness must actually check out. *)
 let consistent a b budgeted unbudgeted =
   match (budgeted, unbudgeted) with
-  | Budget.Unknown _, _ -> true
-  | Budget.Sat h, Budget.Sat _ -> Homomorphism.is_homomorphism a b h
-  | Budget.Unsat, Budget.Unsat -> true
+  | Solver.Unknown _, _ -> true
+  | Solver.Sat h, Solver.Sat _ -> Homomorphism.is_homomorphism a b h
+  | Solver.Unsat _, Solver.Unsat _ -> true
   | _ -> false
 
 let degradation_tests =
@@ -122,8 +122,8 @@ let degradation_tests =
             .Solver.verdict
         in
         match (roomy, full) with
-        | Budget.Sat h, Budget.Sat _ -> Homomorphism.is_homomorphism a b h
-        | Budget.Unsat, Budget.Unsat -> true
+        | Solver.Sat h, Solver.Sat _ -> Homomorphism.is_homomorphism a b h
+        | Solver.Unsat _, Solver.Unsat _ -> true
         | _ -> false);
     qtest ~count:150 "workload colorings degrade gracefully"
       (QCheck.pair (QCheck.int_range 0 10_000) (QCheck.int_range 1 40))
@@ -140,7 +140,7 @@ let degradation_tests =
         let a = Workloads.clique 8 and b = Workloads.clique 7 in
         let r = Solver.solve ~budget:(Budget.create ~max_nodes:400 ()) a b in
         (match r.Solver.verdict with
-        | Budget.Unknown _ -> ()
+        | Solver.Unknown _ -> ()
         | v -> Alcotest.failf "expected unknown, got %s" (Solver.verdict_name v));
         check "attempts were recorded" true (r.Solver.attempts <> []);
         check "no attempt claims a decision" true
@@ -149,13 +149,14 @@ let degradation_tests =
              r.Solver.attempts));
     Alcotest.test_case "same instance is settled without a budget" `Quick
       (fun () ->
-        let r = Solver.solve (Workloads.clique 6) (Workloads.clique 5) in
-        check "unsat" true (r.Solver.verdict = Budget.Unsat));
+        let a = Workloads.clique 6 and b = Workloads.clique 5 in
+        let r = Solver.solve a b in
+        check "unsat, certified" true (certified_verdict a b r = Some false));
     Alcotest.test_case "deadline aborts a large instance" `Quick (fun () ->
         let a = Workloads.clique 20 and b = Workloads.clique 19 in
         let r = Solver.solve ~budget:(Budget.create ~timeout:0.05 ()) a b in
         check "unknown (deadline)" true
-          (r.Solver.verdict = Budget.Unknown Budget.Deadline));
+          (r.Solver.verdict = Solver.Unknown Budget.Deadline));
     Alcotest.test_case "pre-cancelled budget yields unknown (cancelled)" `Quick
       (fun () ->
         let cancel = ref true in
@@ -164,7 +165,7 @@ let degradation_tests =
             ~budget:(Budget.create ~cancel ())
             (Workloads.clique 5) (Workloads.clique 4)
         in
-        check "cancelled" true (r.Solver.verdict = Budget.Unknown Budget.Cancelled));
+        check "cancelled" true (r.Solver.verdict = Solver.Unknown Budget.Cancelled));
     Alcotest.test_case "budgeted containment degrades, never lies" `Quick
       (fun () ->
         let q1 = Workloads.chain_query 3 and q2 = Workloads.chain_query 2 in
@@ -175,8 +176,98 @@ let degradation_tests =
         in
         check "sat or unknown" true
           (match tight.Solver.verdict with
-          | Budget.Sat _ | Budget.Unknown _ -> true
-          | Budget.Unsat -> false));
+          | Solver.Sat _ | Solver.Unknown _ -> true
+          | Solver.Unsat _ -> false));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Metamorphic properties                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The solver's verdict is a property of the instance up to isomorphism
+   and up to semantics-preserving rewrites.  Each transformation below
+   provably preserves the answer, so the transformed run must agree with
+   the original — and both certificates must check (certified_verdict
+   fails the test on a rejected one).  [Unknown] on either side is a
+   pass: budgets are not part of the metamorphic contract. *)
+
+let agree v v' =
+  match (v, v') with None, _ | _, None -> true | Some x, Some y -> x = y
+
+(* A random permutation of [0..n-1] drawn from a QCheck state. *)
+let gen_permutation n =
+  QCheck.Gen.(
+    let* swaps = list_repeat (max 0 (n - 1)) (0 -- (n - 1)) in
+    return
+      (let p = Array.init n Fun.id in
+       List.iteri
+         (fun i j ->
+           let i = i + 1 in
+           let t = p.(i) in
+           p.(i) <- p.(j mod (i + 1));
+           p.(j mod (i + 1)) <- t)
+         swaps;
+       p))
+
+let gen_renamed_pair =
+  QCheck.Gen.(
+    let* a, b = gen_pair () in
+    let* pa = gen_permutation (Structure.size a) in
+    let* pb = gen_permutation (Structure.size b) in
+    return (a, b, pa, pb))
+
+let renamed_arb =
+  QCheck.make
+    ~print:(fun (a, b, _, _) ->
+      Format.asprintf "A = %a@.B = %a" Structure.pp a Structure.pp b)
+    gen_renamed_pair
+
+(* Duplicate existing facts: re-adding tuples a structure already holds
+   is a no-op on its semantics. *)
+let gen_duplicated_pair =
+  QCheck.Gen.(
+    let* a, b = gen_pair () in
+    let facts = Structure.fold_tuples (fun r t acc -> (r, t) :: acc) a [] in
+    let+ picks =
+      match facts with
+      | [] -> return []
+      | _ -> list_size (1 -- 4) (oneofl facts)
+    in
+    let a' =
+      List.fold_left (fun s (r, t) -> Structure.add_tuple s r t) a picks
+    in
+    (a, b, a'))
+
+let duplicated_arb =
+  QCheck.make
+    ~print:(fun (a, b, _) ->
+      Format.asprintf "A = %a@.B = %a" Structure.pp a Structure.pp b)
+    gen_duplicated_pair
+
+let metamorphic_tests =
+  [
+    qtest ~count:300 "verdict invariant under element renaming" renamed_arb
+      (fun (a, b, pa, pb) ->
+        let a' = Structure.map_universe a ~size:(Structure.size a) (Array.get pa) in
+        let b' = Structure.map_universe b ~size:(Structure.size b) (Array.get pb) in
+        agree
+          (certified_verdict a b (Solver.solve a b))
+          (certified_verdict a' b' (Solver.solve a' b')));
+    qtest ~count:300 "verdict invariant under tuple duplication" duplicated_arb
+      (fun (a, b, a') ->
+        agree
+          (certified_verdict a b (Solver.solve a b))
+          (certified_verdict a' b (Solver.solve a' b)));
+    qtest ~count:300
+      "verdict invariant under disjoint union with satisfiable padding"
+      (arbitrary_pair ())
+      (fun (a, b) ->
+        (* B maps into B by the identity, so hom(A ⊔ B -> B) exists iff
+           hom(A -> B) does. *)
+        let padded = Structure.disjoint_union a b in
+        agree
+          (certified_verdict a b (Solver.solve a b))
+          (certified_verdict padded b (Solver.solve padded b)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -406,6 +497,7 @@ let () =
     [
       ("budget", budget_tests);
       ("degradation", degradation_tests);
+      ("metamorphic", metamorphic_tests);
       ("fuzz", fuzz_tests);
       ("positions", position_tests);
       ("taxonomy", taxonomy_tests);
