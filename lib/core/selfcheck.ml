@@ -135,6 +135,46 @@ let routes ~budget a b =
             | _ -> None));
   ]
 
+(* Differential check of the propagation engines: AC-4 support counting
+   and the naive full-rescan revise must agree on the establish verdict,
+   on every domain of the arc-consistent closure (which is unique), and
+   on the domains after an assign/propagate/pop round trip. *)
+let ac_differential note a b =
+  let c4 = Arc_consistency.create ~algorithm:`Ac4 a b in
+  let cn = Arc_consistency.create ~algorithm:`Naive a b in
+  let n = Structure.size a in
+  let domains ctx = List.init n (Arc_consistency.dom_values ctx) in
+  let compare_domains stage =
+    if domains c4 <> domains cn then
+      note (Printf.sprintf "ac-differential: domains differ %s" stage)
+  in
+  let r4 = Arc_consistency.establish c4 and rn = Arc_consistency.establish cn in
+  if r4 <> rn then
+    note (Printf.sprintf "ac-differential: establish disagrees (ac4 %b, naive %b)" r4 rn)
+  else if r4 then begin
+    compare_domains "after establish";
+    let snapshot = domains c4 in
+    let branch = ref None in
+    for x = n - 1 downto 0 do
+      if Arc_consistency.dom_size c4 x > 1 then branch := Some x
+    done;
+    match !branch with
+    | None -> ()
+    | Some x ->
+      let v = List.hd (Arc_consistency.dom_values c4 x) in
+      Arc_consistency.push c4;
+      Arc_consistency.push cn;
+      let a4 = Arc_consistency.assign c4 x v and an = Arc_consistency.assign cn x v in
+      if a4 <> an then
+        note (Printf.sprintf "ac-differential: assign disagrees (ac4 %b, naive %b)" a4 an)
+      else if a4 then compare_domains "after assign";
+      Arc_consistency.pop c4;
+      Arc_consistency.pop cn;
+      if domains c4 <> snapshot then
+        note "ac-differential: ac4 pop did not restore the establish domains";
+      compare_domains "after pop"
+  end
+
 (* The full portfolio, with its verdict checked against its own
    certificate by the trusted checker. *)
 let portfolio ~budget ?booleanize_threshold ?max_treewidth ?consistency_k name a b =
@@ -188,6 +228,7 @@ let check_instance ~max_nodes seed a b =
   List.iter
     (fun (name, claim) -> push name claim)
     (routes ~budget a b);
+  ac_differential note a b;
   (* Cross-route agreement: no Yes may meet a No. *)
   let yes = List.filter (fun (_, c) -> c = Yes) !claims in
   let no = List.filter (fun (_, c) -> c = No) !claims in

@@ -47,6 +47,15 @@ let grid rows cols =
   done;
   undirected ~size:(rows * cols) !edges
 
+let staircase_dag n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  digraph ~size:n !edges
+
 let erdos_renyi ~seed ~n ~p =
   let st = Random.State.make [| seed; n |] in
   let edges = ref [] in

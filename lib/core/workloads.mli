@@ -26,6 +26,12 @@ val complete_bipartite : int -> int -> Structure.t
 val grid : int -> int -> Structure.t
 (** Undirected grid graph (treewidth [min rows cols]). *)
 
+val staircase_dag : int -> Structure.t
+(** Transitive tournament: directed edges [(i, j)] for all [i < j] —
+    [n(n-1)/2] tuples.  A dense digraph admitting no long directed path,
+    so propagation from a longer {!path} wipes out with heavy cascading:
+    the dense-target workload of the E16 propagation benchmarks. *)
+
 val erdos_renyi : seed:int -> n:int -> p:float -> Structure.t
 (** Undirected G(n, p). *)
 

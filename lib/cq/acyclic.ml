@@ -7,17 +7,31 @@ let is_acyclic q =
 (* Small relational tables over canonical-database elements. *)
 type table = { cols : int list; rows : Tuple.t list }
 
+(* Linear-time dedup via the tuple hash table; row order is irrelevant to
+   callers (the final result is sorted once in [evaluate]). *)
+let dedup rows =
+  let seen = Tuple.Table.create 64 in
+  List.filter
+    (fun r ->
+      if Tuple.Table.mem seen r then false
+      else begin
+        Tuple.Table.replace seen r ();
+        true
+      end)
+    rows
+
 let project table keep =
   let positions =
-    List.filter_map
-      (fun c ->
-        let rec find i = function
-          | [] -> None
-          | c' :: _ when c' = c -> Some i
-          | _ :: rest -> find (i + 1) rest
-        in
-        find 0 table.cols)
-      keep
+    Array.of_list
+      (List.filter_map
+         (fun c ->
+           let rec find i = function
+             | [] -> None
+             | c' :: _ when c' = c -> Some i
+             | _ :: rest -> find (i + 1) rest
+           in
+           find 0 table.cols)
+         keep)
   in
   let kept_cols =
     List.filter (fun c -> List.mem c table.cols) keep
@@ -25,10 +39,7 @@ let project table keep =
   {
     cols = kept_cols;
     rows =
-      List.sort_uniq Tuple.compare
-        (List.map
-           (fun row -> Array.of_list (List.map (fun i -> row.(i)) positions))
-           table.rows);
+      dedup (List.map (fun row -> Array.map (fun i -> row.(i)) positions) table.rows);
   }
 
 let join t1 t2 =
@@ -43,31 +54,36 @@ let join t1 t2 =
     in
     find 0 cols
   in
-  let shared1 = List.map (pos t1.cols) shared in
-  let shared2 = List.map (pos t2.cols) shared in
+  let shared1 = Array.of_list (List.map (pos t1.cols) shared) in
+  let shared2 = Array.of_list (List.map (pos t2.cols) shared) in
   let extra_positions =
     List.mapi (fun i c -> (i, c)) t2.cols
     |> List.filter (fun (_, c) -> not (List.mem c t1.cols))
   in
-  let extra2 = List.map fst extra_positions in
+  let extra2 = Array.of_list (List.map fst extra_positions) in
   let extra2_cols = List.map snd extra_positions in
-  let index = Hashtbl.create (List.length t2.rows) in
+  (* Hash join: bucket t2 by its projection on the shared columns, then
+     probe once per t1 row. *)
+  let index = Tuple.Table.create (max 16 (2 * List.length t2.rows)) in
   List.iter
     (fun row ->
-      let key = Array.of_list (List.map (fun i -> row.(i)) shared2) in
-      Hashtbl.add index key row)
+      let key = Array.map (fun i -> row.(i)) shared2 in
+      Tuple.Table.replace index key
+        (row :: (match Tuple.Table.find_opt index key with Some l -> l | None -> [])))
     t2.rows;
   let rows =
     List.concat_map
       (fun row1 ->
-        let key = Array.of_list (List.map (fun i -> row1.(i)) shared1) in
-        List.map
-          (fun row2 ->
-            Array.append row1 (Array.of_list (List.map (fun i -> row2.(i)) extra2)))
-          (Hashtbl.find_all index key))
+        let key = Array.map (fun i -> row1.(i)) shared1 in
+        match Tuple.Table.find_opt index key with
+        | None -> []
+        | Some rows2 ->
+          List.map
+            (fun row2 -> Array.append row1 (Array.map (fun i -> row2.(i)) extra2))
+            rows2)
       t1.rows
   in
-  { cols = t1.cols @ extra2_cols; rows = List.sort_uniq Tuple.compare rows }
+  { cols = t1.cols @ extra2_cols; rows = dedup rows }
 
 let evaluate q db =
   let body, index = Canonical.database_no_head q in

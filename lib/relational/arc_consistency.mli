@@ -9,9 +9,18 @@
 
 type t
 
-val create : Structure.t -> Structure.t -> t
+type algorithm = [ `Ac4 | `Naive ]
+(** Propagation engine.  [`Ac4] (the default) maintains per-(atom, position,
+    value) support counters that are decremented incrementally as values die
+    and restored exactly on {!pop}, giving amortised [O(||A|| * ||B||)]
+    propagation (Theorem 3.4).  [`Naive] rescans the whole target relation on
+    every revision — [O(removals * ||B||)] worst case — and is retained as a
+    differential-testing reference and benchmark baseline. *)
+
+val create : ?algorithm:algorithm -> Structure.t -> Structure.t -> t
 (** Fresh context with full domains.  Symbols of [A]'s vocabulary missing
-    from [B] are treated as empty relations of [B]. *)
+    from [B] (or carried with a different arity) are treated as empty
+    relations of [B]. *)
 
 val source : t -> Structure.t
 

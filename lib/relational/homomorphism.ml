@@ -7,13 +7,14 @@ let is_homomorphism a b (h : mapping) =
   && Array.for_all (fun v -> v >= 0 && v < Structure.size b) h
   &&
   let ok = ref true in
+  (* O(1) expected membership per atom via B's cached relation indexes. *)
   Structure.iter_tuples
     (fun name t ->
       if !ok then
         let image = Array.map (fun x -> h.(x)) t in
         let holds =
-          match Structure.relation b name with
-          | r -> Relation.mem r image
+          match Structure.index b name with
+          | ix -> Relation.Index.mem ix image
           | exception Not_found -> false
         in
         if not holds then ok := false)

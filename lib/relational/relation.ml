@@ -4,11 +4,90 @@ module Tuple_set = Set.Make (struct
   let compare = Tuple.compare
 end)
 
-type t = { arity : int; tuples : Tuple_set.t }
+(* Per-relation hash index, built once on demand and cached on the relation
+   value.  [by_position.(j)] maps a universe element [v] to the array of
+   tuples whose [j]-th entry is [v]; [members] gives O(1) membership;
+   [adom] is the sorted active domain.  Relations are immutable, so a
+   cached index can never go stale — every constructor below produces a
+   fresh record with an empty cache slot. *)
+module Index = struct
+  type t = {
+    tuples : Tuple.t array;  (** all tuples, in {!Tuple.compare} order *)
+    by_position : (int, Tuple.t array) Hashtbl.t array;
+    members : unit Tuple.Table.t;
+    adom : int list;
+  }
+
+  let tuples ix = ix.tuples
+
+  let cardinal ix = Array.length ix.tuples
+
+  let matching ix ~pos ~value =
+    if pos < 0 || pos >= Array.length ix.by_position then
+      invalid_arg "Relation.Index.matching: position out of range";
+    match Hashtbl.find_opt ix.by_position.(pos) value with
+    | Some a -> a
+    | None -> [||]
+
+  let count ix ~pos ~value = Array.length (matching ix ~pos ~value)
+
+  let mem ix t = Tuple.Table.mem ix.members t
+
+  let active_domain ix = ix.adom
+
+  let build arity tuple_array =
+    let by_position =
+      Array.init arity (fun _ -> Hashtbl.create (max 16 (Array.length tuple_array)))
+    in
+    let members = Tuple.Table.create (max 16 (Array.length tuple_array)) in
+    let seen = Hashtbl.create 16 in
+    Array.iter
+      (fun (t : Tuple.t) ->
+        Tuple.Table.replace members t ();
+        Array.iteri
+          (fun j v ->
+            Hashtbl.replace seen v ();
+            Hashtbl.replace by_position.(j) v
+              (match Hashtbl.find_opt by_position.(j) v with
+              | Some l -> t :: l
+              | None -> [ t ]))
+          t)
+      tuple_array;
+    let by_position =
+      Array.map
+        (fun tbl ->
+          let packed = Hashtbl.create (Hashtbl.length tbl) in
+          Hashtbl.iter
+            (fun v l -> Hashtbl.replace packed v (Array.of_list (List.rev l)))
+            tbl;
+          packed)
+        by_position
+    in
+    {
+      tuples = tuple_array;
+      by_position;
+      members;
+      adom = List.sort Int.compare (Hashtbl.fold (fun x () acc -> x :: acc) seen []);
+    }
+end
+
+type t = { arity : int; tuples : Tuple_set.t; mutable index : Index.t option }
+
+(* The only constructor: never build a relation with [{ r with ... }] — that
+   would copy the mutable cache slot and serve a stale index. *)
+let make arity tuples = { arity; tuples; index = None }
 
 let empty arity =
   if arity < 0 then invalid_arg "Relation.empty: negative arity";
-  { arity; tuples = Tuple_set.empty }
+  make arity Tuple_set.empty
+
+let index r =
+  match r.index with
+  | Some ix -> ix
+  | None ->
+    let ix = Index.build r.arity (Array.of_list (Tuple_set.elements r.tuples)) in
+    r.index <- Some ix;
+    ix
 
 let check_arity r t =
   if Array.length t <> r.arity then
@@ -18,7 +97,7 @@ let check_arity r t =
 
 let add r t =
   check_arity r t;
-  { r with tuples = Tuple_set.add t r.tuples }
+  make r.arity (Tuple_set.add t r.tuples)
 
 let of_list arity tuples = List.fold_left add (empty arity) tuples
 
@@ -28,24 +107,27 @@ let cardinal r = Tuple_set.cardinal r.tuples
 
 let is_empty r = Tuple_set.is_empty r.tuples
 
-let mem r t = Tuple_set.mem t r.tuples
+let mem r t =
+  match r.index with
+  | Some ix -> Index.mem ix t
+  | None -> Tuple_set.mem t r.tuples
 
-let remove r t = { r with tuples = Tuple_set.remove t r.tuples }
+let remove r t = make r.arity (Tuple_set.remove t r.tuples)
 
 let same_arity op r s =
   if r.arity <> s.arity then invalid_arg ("Relation." ^ op ^ ": arity mismatch")
 
 let union r s =
   same_arity "union" r s;
-  { r with tuples = Tuple_set.union r.tuples s.tuples }
+  make r.arity (Tuple_set.union r.tuples s.tuples)
 
 let inter r s =
   same_arity "inter" r s;
-  { r with tuples = Tuple_set.inter r.tuples s.tuples }
+  make r.arity (Tuple_set.inter r.tuples s.tuples)
 
 let diff r s =
   same_arity "diff" r s;
-  { r with tuples = Tuple_set.diff r.tuples s.tuples }
+  make r.arity (Tuple_set.diff r.tuples s.tuples)
 
 let subset r s = r.arity = s.arity && Tuple_set.subset r.tuples s.tuples
 
@@ -63,7 +145,7 @@ let for_all p r = Tuple_set.for_all p r.tuples
 
 let exists p r = Tuple_set.exists p r.tuples
 
-let filter p r = { r with tuples = Tuple_set.filter p r.tuples }
+let filter p r = make r.arity (Tuple_set.filter p r.tuples)
 
 let map f r =
   fold
@@ -76,12 +158,13 @@ let map f r =
 
 let elements r = Tuple_set.elements r.tuples
 
+let tuples_array r = Index.tuples (index r)
+
+let matching r ~pos ~value = Index.matching (index r) ~pos ~value
+
 let choose r = Tuple_set.min_elt_opt r.tuples
 
-let active_domain r =
-  let seen = Hashtbl.create 16 in
-  iter (fun t -> Array.iter (fun x -> Hashtbl.replace seen x ()) t) r;
-  List.sort Int.compare (Hashtbl.fold (fun x () acc -> x :: acc) seen [])
+let active_domain r = Index.active_domain (index r)
 
 let pp ppf r =
   Format.fprintf ppf "{%a}"

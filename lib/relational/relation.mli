@@ -1,6 +1,45 @@
-(** Finite relations: sets of tuples of a fixed arity. *)
+(** Finite relations: sets of tuples of a fixed arity.
+
+    Relations are immutable.  Each relation lazily caches a hash {!Index}
+    over its tuples — per-(position, value) tuple lists, O(1) membership,
+    and the sorted active domain — built on first demand and reused by the
+    propagation, semijoin, and direct-route solvers. *)
 
 type t
+
+(** Read-only hash index over a relation's tuples. *)
+module Index : sig
+  type t
+
+  val tuples : t -> Tuple.t array
+  (** All tuples, in increasing {!Tuple.compare} order.  Callers must not
+      mutate the array. *)
+
+  val cardinal : t -> int
+
+  val matching : t -> pos:int -> value:int -> Tuple.t array
+  (** Tuples whose [pos]-th entry equals [value]; [[||]] when none.
+      Callers must not mutate the array.
+      @raise Invalid_argument if [pos] is outside the arity. *)
+
+  val count : t -> pos:int -> value:int -> int
+  (** [Array.length (matching ix ~pos ~value)] without the bounds risk of
+      holding the array. *)
+
+  val mem : t -> Tuple.t -> bool
+  (** O(1) expected membership. *)
+
+  val active_domain : t -> int list
+  (** Sorted distinct elements occurring in some tuple (cached). *)
+
+  val build : int -> Tuple.t array -> t
+  (** [build arity tuples] indexes an explicit tuple array.  Exposed for
+      callers that materialise intermediate tables outside {!relation}
+      values (e.g. join pipelines). *)
+end
+
+val index : t -> Index.t
+(** The relation's cached index, built on first call. *)
 
 val empty : int -> t
 (** [empty arity] is the empty relation of the given arity. *)
@@ -52,10 +91,17 @@ val map : (Tuple.t -> Tuple.t) -> t -> t
 val elements : t -> Tuple.t list
 (** Tuples in increasing {!Tuple.compare} order. *)
 
+val tuples_array : t -> Tuple.t array
+(** Tuples as an array (from the cached index); do not mutate. *)
+
+val matching : t -> pos:int -> value:int -> Tuple.t array
+(** [Index.matching (index r)]; do not mutate the result. *)
+
 val choose : t -> Tuple.t option
 (** Some tuple, or [None] when empty. *)
 
 val active_domain : t -> int list
-(** Sorted list of distinct elements occurring in some tuple. *)
+(** Sorted list of distinct elements occurring in some tuple (cached in the
+    relation's index; O(1) after the first call). *)
 
 val pp : Format.formatter -> t -> unit

@@ -46,6 +46,8 @@ let of_relations vocab ~size rels =
       List.fold_left (fun acc t -> add_tuple acc name t) acc tuples)
     (create vocab ~size) rels
 
+let index a name = Relation.index (relation a name)
+
 let mem_tuple a name t = Relation.mem (relation a name) t
 
 let total_tuples a = Smap.fold (fun _ r acc -> acc + Relation.cardinal r) a.rels 0

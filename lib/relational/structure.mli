@@ -26,6 +26,10 @@ val universe : t -> int list
 val relation : t -> string -> Relation.t
 (** @raise Not_found on unknown symbols. *)
 
+val index : t -> string -> Relation.Index.t
+(** Cached hash index of the named relation (see {!Relation.index}).
+    @raise Not_found on unknown symbols. *)
+
 val add_tuple : t -> string -> Tuple.t -> t
 (** @raise Invalid_argument on unknown symbol, arity mismatch, or elements
     outside the universe. *)

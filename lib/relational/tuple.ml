@@ -14,7 +14,27 @@ let compare (s : t) (t : t) =
 
 let equal (s : t) (t : t) = compare s t = 0
 
-let hash (t : t) = Array.fold_left (fun acc x -> (acc * 31) + x + 1) (Array.length t) t
+(* Avalanche finalizer (splitmix-style, truncated to OCaml's int width):
+   every input bit affects every output bit, so hash tables keyed by tuples
+   do not degenerate on structured instances (grids, paths, staircases)
+   whose entries differ only in low-order bits. *)
+let mix h =
+  let h = h lxor (h lsr 30) in
+  let h = h * 0x1aec805299990163 in
+  let h = h lxor (h lsr 27) in
+  let h = h * 0x2545f4914f6cdd1d in
+  (h lxor (h lsr 31)) land max_int
+
+let hash (t : t) =
+  Array.fold_left (fun acc x -> mix (acc lxor (x + 0x9e3779b9))) (mix (Array.length t)) t
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let hash = hash
+end)
 
 let arity = Array.length
 

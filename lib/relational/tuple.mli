@@ -12,6 +12,8 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 
 val hash : t -> int
+(** Equality-compatible hash with full avalanche mixing: suitable for
+    hash-indexing structured instances without degenerate buckets. *)
 
 val arity : t -> int
 
@@ -27,3 +29,6 @@ val pp : Format.formatter -> t -> unit
 (** Prints [(a1, ..., an)]. *)
 
 val to_string : t -> string
+
+module Table : Hashtbl.S with type key = t
+(** Hash tables keyed by tuples (via {!hash} / {!equal}). *)

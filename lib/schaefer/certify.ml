@@ -142,47 +142,11 @@ let unit_refutation ?(budget = Budget.unlimited) clauses =
 
 let implication_cycle ?(budget = Budget.unlimited) clauses =
   let negate (l : Certificate.lit) = { l with Certificate.sign = not l.sign } in
-  (* Implication edges [(from, to, clause)] from unit and binary clauses;
-     wider clauses cannot appear for a bijunctive target, and tautologies
-     contribute nothing. *)
-  let edges =
-    List.concat_map
-      (fun (c : Certificate.iclause) ->
-        match List.sort_uniq compare c.Certificate.lits with
-        | [ l ] -> [ (negate l, l, c) ]
-        | [ l1; l2 ] when l1 <> negate l2 ->
-          [ (negate l1, l2, c); (negate l2, l1, c) ]
-        | _ -> [])
-      clauses
-  in
-  let path start goal =
-    let parent = Hashtbl.create 64 in
-    let queue = Queue.create () in
-    Hashtbl.replace parent start None;
-    Queue.add start queue;
-    let found = ref (Hashtbl.mem parent goal && start = goal) in
-    while (not !found) && not (Queue.is_empty queue) do
-      Budget.tick budget;
-      let cur = Queue.pop queue in
-      List.iter
-        (fun (src, dst, c) ->
-          if src = cur && not (Hashtbl.mem parent dst) then begin
-            Hashtbl.replace parent dst (Some (cur, c));
-            Queue.add dst queue;
-            if dst = goal then found := true
-          end)
-        edges
-    done;
-    if not (Hashtbl.mem parent goal) || start = goal then None
-    else begin
-      let rec build acc l =
-        match Hashtbl.find parent l with
-        | None -> acc
-        | Some (prev, c) -> build ((c, l) :: acc) prev
-      in
-      Some (build [] goal)
-    end
-  in
+  (* Dense literal encoding: element x_i -> nodes 2i (positive) and 2i+1
+     (negative), with an adjacency list per node.  A contradictory element
+     is one whose two literal nodes share an SCC; one SCC pass plus two
+     BFS runs over the adjacency then yield the certificate, instead of
+     the former per-variable scan of the whole flat edge list. *)
   let vars =
     List.sort_uniq Int.compare
       (List.concat_map
@@ -191,16 +155,124 @@ let implication_cycle ?(budget = Budget.unlimited) clauses =
              c.Certificate.lits)
          clauses)
   in
-  let rec try_vars = function
-    | [] -> None
-    | x :: rest -> (
-      let p = { Certificate.elem = x; sign = true } in
-      match (path p (negate p), path (negate p) p) with
+  let var_id = Hashtbl.create (2 * List.length vars) in
+  List.iteri (fun i x -> Hashtbl.replace var_id x i) vars;
+  let vars_arr = Array.of_list vars in
+  let nv = Array.length vars_arr in
+  let node_of (l : Certificate.lit) =
+    (2 * Hashtbl.find var_id l.Certificate.elem) + if l.Certificate.sign then 0 else 1
+  in
+  let lit_of u = { Certificate.elem = vars_arr.(u / 2); sign = u land 1 = 0 } in
+  let succ = Array.make (max 1 (2 * nv)) [] in
+  let add_edge src dst c = succ.(src) <- (dst, c) :: succ.(src) in
+  (* Implication edges from unit and binary clauses; wider clauses cannot
+     appear for a bijunctive target, and tautologies contribute nothing. *)
+  List.iter
+    (fun (c : Certificate.iclause) ->
+      Budget.tick budget;
+      match List.sort_uniq compare c.Certificate.lits with
+      | [ l ] -> add_edge (node_of (negate l)) (node_of l) c
+      | [ l1; l2 ] when l1 <> negate l2 ->
+        add_edge (node_of (negate l1)) (node_of l2) c;
+        add_edge (node_of (negate l2)) (node_of l1) c
+      | _ -> ())
+    clauses;
+  (* Iterative Tarjan (as in [Two_sat.tarjan], over labelled edges). *)
+  let n = Array.length succ in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = Stack.create () in
+  let counter = ref 0 and ncomp = ref 0 in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      let call = Stack.create () in
+      let start v =
+        Budget.tick budget;
+        index.(v) <- !counter;
+        lowlink.(v) <- !counter;
+        incr counter;
+        Stack.push v stack;
+        on_stack.(v) <- true;
+        Stack.push (v, ref succ.(v)) call
+      in
+      start root;
+      while not (Stack.is_empty call) do
+        let v, rest = Stack.top call in
+        match !rest with
+        | (w, _) :: tl ->
+          rest := tl;
+          if index.(w) < 0 then start w
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        | [] ->
+          ignore (Stack.pop call);
+          if lowlink.(v) = index.(v) then begin
+            let continue_ = ref true in
+            while !continue_ do
+              let w = Stack.pop stack in
+              on_stack.(w) <- false;
+              comp.(w) <- !ncomp;
+              if w = v then continue_ := false
+            done;
+            incr ncomp
+          end;
+          if not (Stack.is_empty call) then begin
+            let parent, _ = Stack.top call in
+            lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          end
+      done
+    end
+  done;
+  (* BFS with parent pointers, used only for the one pivot the SCC pass
+     certifies; reconstructs the (clause, implied literal) chain the
+     trusted checker replays. *)
+  let path start goal =
+    let parent = Array.make n (-2) in
+    let queue = Queue.create () in
+    parent.(start) <- -1;
+    let parent_clause = Array.make n None in
+    Queue.add start queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      Budget.tick budget;
+      let cur = Queue.pop queue in
+      List.iter
+        (fun (dst, c) ->
+          if parent.(dst) = -2 then begin
+            parent.(dst) <- cur;
+            parent_clause.(dst) <- Some c;
+            Queue.add dst queue;
+            if dst = goal then found := true
+          end)
+        succ.(cur)
+    done;
+    if parent.(goal) = -2 || start = goal then None
+    else begin
+      let rec build acc u =
+        if parent.(u) = -1 then acc
+        else
+          match parent_clause.(u) with
+          | Some c -> build ((c, lit_of u) :: acc) parent.(u)
+          | None -> assert false
+      in
+      Some (build [] goal)
+    end
+  in
+  let rec try_vars i =
+    if i >= nv then None
+    else if comp.(2 * i) = comp.((2 * i) + 1) then begin
+      let p = { Certificate.elem = vars_arr.(i); sign = true } in
+      match (path (2 * i) ((2 * i) + 1), path ((2 * i) + 1) (2 * i)) with
       | Some forward, Some backward ->
         Some (Certificate.Implication_cycle { pivot = p; forward; backward })
-      | _ -> try_vars rest)
+      | _ ->
+        (* Unreachable: a shared SCC guarantees both paths. *)
+        try_vars (i + 1)
+    end
+    else try_vars (i + 1)
   in
-  try_vars vars
+  try_vars 0
 
 (* ------------------------------------------------------------------ *)
 (* Affine: Gaussian elimination tracking which original equations       *)

@@ -183,7 +183,7 @@ let solve_bijunctive_direct ?(budget = Budget.unlimited) a b =
   let n = Structure.size a in
   let value = Array.make (max n 1) (-1) in
   let occ = occurrences a in
-  let tuples_of =
+  let index_of =
     let table = Hashtbl.create 16 in
     List.iter
       (fun (name, arity) ->
@@ -195,7 +195,7 @@ let solve_bijunctive_direct ?(budget = Budget.unlimited) a b =
           | r -> r
           | exception Not_found -> Relation.empty arity
         in
-        Hashtbl.replace table name (Array.of_list (Relation.elements r)))
+        Hashtbl.replace table name (Relation.index r))
       (Vocabulary.symbols (Structure.vocabulary a));
     table
   in
@@ -216,24 +216,21 @@ let solve_bijunctive_direct ?(budget = Budget.unlimited) a b =
     List.iter
       (fun (name, (t : Tuple.t)) ->
         if not !conflict then begin
-          let ts = Hashtbl.find tuples_of name in
+          let ix = Hashtbl.find index_of name in
           let arity = Array.length t in
           for k = 0 to arity - 1 do
             if (not !conflict) && t.(k) = x then begin
-              let matching =
-                Array.to_list ts |> List.filter (fun (t' : Tuple.t) -> t'.(k) = v)
-              in
-              if matching = [] then conflict := true
+              (* Indexed lookup of the tuples compatible with the fixed
+                 value instead of filtering the whole relation. *)
+              let matching = Relation.Index.matching ix ~pos:k ~value:v in
+              if Array.length matching = 0 then conflict := true
               else
                 for l = 0 to arity - 1 do
                   if not !conflict then begin
-                    let candidates =
-                      List.sort_uniq Int.compare
-                        (List.map (fun (t' : Tuple.t) -> t'.(l)) matching)
-                    in
-                    match candidates with
-                    | [ j ] -> set t.(l) j
-                    | _ -> ()
+                    let first = matching.(0).(l) in
+                    if
+                      Array.for_all (fun (t' : Tuple.t) -> t'.(l) = first) matching
+                    then set t.(l) first
                   end
                 done
             end

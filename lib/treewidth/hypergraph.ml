@@ -130,13 +130,21 @@ let solve_acyclic a b =
               if p >= 0 then begin
                 let _, te = forest.facts.(e) and _, tp = forest.facts.(p) in
                 let shared = shared_positions te tp in
+                (* Hash semijoin: one pass over the child to collect the
+                   projections on the shared positions, one pass over the
+                   parent to probe them — O(|child| + |parent|) instead of
+                   the quadratic nested scan. *)
+                let child_pos = Array.of_list (List.map fst shared) in
+                let parent_pos = Array.of_list (List.map snd shared) in
+                let keys = Tuple.Table.create (2 * List.length cands.(e)) in
+                List.iter
+                  (fun (te' : Tuple.t) ->
+                    Tuple.Table.replace keys (Array.map (fun i -> te'.(i)) child_pos) ())
+                  cands.(e);
                 cands.(p) <-
                   List.filter
                     (fun (tp' : Tuple.t) ->
-                      List.exists
-                        (fun (te' : Tuple.t) ->
-                          List.for_all (fun (i, j) -> te'.(i) = tp'.(j)) shared)
-                        cands.(e))
+                      Tuple.Table.mem keys (Array.map (fun j -> tp'.(j)) parent_pos))
                     cands.(p);
                 if cands.(p) = [] then feasible := false
               end

@@ -22,6 +22,20 @@ let tuple_tests =
         check_int "empty" (-1) (Tuple.max_element [||]));
     Alcotest.test_case "hash respects equality" `Quick (fun () ->
         check_int "same" (Tuple.hash [| 1; 2; 3 |]) (Tuple.hash [| 1; 2; 3 |]));
+    Alcotest.test_case "hash separates permutations and lengths" `Quick (fun () ->
+        check "permuted" true (Tuple.hash [| 1; 2; 3 |] <> Tuple.hash [| 3; 2; 1 |]);
+        check "swapped pair" true (Tuple.hash [| 0; 1 |] <> Tuple.hash [| 1; 0 |]);
+        check "length sensitive" true (Tuple.hash [| 0 |] <> Tuple.hash [| 0; 0 |]));
+    Alcotest.test_case "hash spreads over dense small tuples" `Quick (fun () ->
+        (* Small consecutive coordinates are exactly what Tuple.Table buckets
+           see in practice; the avalanche mix must not collapse them. *)
+        let seen = Hashtbl.create 1024 in
+        for i = 0 to 31 do
+          for j = 0 to 31 do
+            Hashtbl.replace seen (Tuple.hash [| i; j |]) ()
+          done
+        done;
+        check "at least 1000 distinct hashes of 1024" true (Hashtbl.length seen >= 1000));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -89,6 +103,46 @@ let relation_tests =
         let r = Relation.of_list 2 [ [| 0; 1 |] ] in
         let doubled = Relation.map (Tuple.map (fun x -> 2 * x)) r in
         check "mapped" true (Relation.mem doubled [| 0; 2 |]));
+    Alcotest.test_case "matching agrees with a filter scan" `Quick (fun () ->
+        let r = Relation.of_list 2 [ [| 0; 1 |]; [| 0; 2 |]; [| 1; 2 |]; [| 2; 0 |] ] in
+        let by_scan pos value =
+          List.filter (fun t -> t.(pos) = value) (Relation.elements r)
+        in
+        for pos = 0 to 1 do
+          for v = 0 to 2 do
+            let expected = by_scan pos v in
+            let got = Array.to_list (Relation.matching r ~pos ~value:v) in
+            check
+              (Printf.sprintf "matching pos=%d value=%d" pos v)
+              true
+              (List.sort Tuple.compare expected = List.sort Tuple.compare got)
+          done
+        done;
+        check_int "no match" 0 (Array.length (Relation.matching r ~pos:0 ~value:9)));
+    Alcotest.test_case "index mem/cardinal/active_domain agree with the set" `Quick
+      (fun () ->
+        let r = Relation.of_list 2 [ [| 4; 1 |]; [| 1; 7 |]; [| 4; 4 |] ] in
+        let ix = Relation.index r in
+        check_int "cardinal" (Relation.cardinal r) (Relation.Index.cardinal ix);
+        check "mem" true (Relation.Index.mem ix [| 1; 7 |]);
+        check "not mem" false (Relation.Index.mem ix [| 7; 1 |]);
+        Alcotest.(check (list int)) "active domain" [ 1; 4; 7 ]
+          (List.sort Int.compare (Relation.Index.active_domain ix)));
+    Alcotest.test_case "derived relations never see a stale index" `Quick (fun () ->
+        let r = Relation.of_list 2 [ [| 0; 1 |] ] in
+        (* Force the lazy index on [r], then derive a new relation: the
+           derived value must build its own index, not inherit the cache. *)
+        ignore (Relation.index r);
+        let r' = Relation.add r [| 1; 2 |] in
+        check "derived index sees the new tuple" true
+          (Relation.Index.mem (Relation.index r') [| 1; 2 |]);
+        check_int "matching sees it" 1
+          (Array.length (Relation.matching r' ~pos:0 ~value:1));
+        check_int "original index untouched" 1
+          (Relation.Index.cardinal (Relation.index r));
+        let shrunk = Relation.remove r' [| 0; 1 |] in
+        check "removal visible through index" false
+          (Relation.Index.mem (Relation.index shrunk) [| 0; 1 |]));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -265,6 +319,54 @@ let ac_tests =
            this is exactly why the k-pebble game / k-consistency is needed. *)
         let ctx = Arc_consistency.create (undirected_cycle 5) k2 in
         check "establish ok" true (Arc_consistency.establish ctx));
+    Alcotest.test_case "AC-4 counters survive push/assign/pop round trips" `Quick
+      (fun () ->
+        let ctx = Arc_consistency.create ~algorithm:`Ac4 (path 4) (clique 3) in
+        check "establish" true (Arc_consistency.establish ctx);
+        let snapshot () = List.init 4 (Arc_consistency.dom_values ctx) in
+        let before = snapshot () in
+        Arc_consistency.push ctx;
+        check "assign" true (Arc_consistency.assign ctx 0 0);
+        Arc_consistency.pop ctx;
+        Alcotest.(check (list (list int))) "domains restored" before (snapshot ());
+        (* The support counters must be restored too, not just the domains:
+           repeating the assignment has to reach the identical fixpoint. *)
+        Arc_consistency.push ctx;
+        check "assign again" true (Arc_consistency.assign ctx 0 0);
+        let assigned = snapshot () in
+        Arc_consistency.pop ctx;
+        Arc_consistency.push ctx;
+        check "assign a third time" true (Arc_consistency.assign ctx 0 0);
+        Alcotest.(check (list (list int))) "same fixpoint" assigned (snapshot ());
+        Arc_consistency.pop ctx;
+        Alcotest.(check (list (list int))) "restored once more" before (snapshot ()));
+    Alcotest.test_case "AC-4 pop below the establish point forces a rebuild" `Quick
+      (fun () ->
+        (* path 3 -> path 3 prunes at establish time (the middle vertex is
+           forced to 1), so a checkpoint taken before [establish] rewinds
+           past the support-counter build. *)
+        let ctx = Arc_consistency.create ~algorithm:`Ac4 (path 3) (path 3) in
+        Arc_consistency.push ctx;
+        check "establish" true (Arc_consistency.establish ctx);
+        Alcotest.(check (list int)) "middle forced" [ 1 ] (Arc_consistency.dom_values ctx 1);
+        Arc_consistency.pop ctx;
+        check_int "full domain back" 3 (Arc_consistency.dom_size ctx 1);
+        check "re-establish after deep pop" true (Arc_consistency.establish ctx);
+        Alcotest.(check (list int)) "middle forced again" [ 1 ]
+          (Arc_consistency.dom_values ctx 1);
+        check "assign after rebuild" true (Arc_consistency.assign ctx 0 0);
+        check "fully forced" true (Arc_consistency.all_singleton ctx);
+        Alcotest.check mapping_testable "solution" [| 0; 1; 2 |]
+          (Arc_consistency.solution ctx));
+    Alcotest.test_case "naive engine still answers the classics" `Quick (fun () ->
+        let wipe = Arc_consistency.create ~algorithm:`Naive (path 2)
+            (Structure.create graph_vocab ~size:1) in
+        check "wiped" false (Arc_consistency.establish wipe);
+        let ctx = Arc_consistency.create ~algorithm:`Naive (path 3) k2 in
+        check "establish" true (Arc_consistency.establish ctx);
+        check "assign" true (Arc_consistency.assign ctx 0 0);
+        Alcotest.check mapping_testable "solution" [| 0; 1; 0 |]
+          (Arc_consistency.solution ctx));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -309,6 +411,46 @@ let property_tests =
       (fun (a, b) ->
         let ctx = Arc_consistency.create a b in
         Arc_consistency.establish ctx || not (brute_force_exists a b));
+    qtest ~count:300 "AC-4 agrees with the naive engine on establish"
+      (arbitrary_pair ())
+      (fun (a, b) ->
+        let ac4 = Arc_consistency.create ~algorithm:`Ac4 a b in
+        let naive = Arc_consistency.create ~algorithm:`Naive a b in
+        let r4 = Arc_consistency.establish ac4 in
+        let rn = Arc_consistency.establish naive in
+        let doms ctx =
+          List.init (Structure.size a) (Arc_consistency.dom_values ctx)
+        in
+        (* On wipeout the engines may stop at different partial states, so
+           only compare the fixpoints when both succeed. *)
+        r4 = rn && (not r4 || doms ac4 = doms naive));
+    qtest ~count:150 "AC-4 agrees with the naive engine across push/assign/pop"
+      (arbitrary_pair ())
+      (fun (a, b) ->
+        let n = Structure.size a in
+        let ac4 = Arc_consistency.create ~algorithm:`Ac4 a b in
+        let naive = Arc_consistency.create ~algorithm:`Naive a b in
+        if not (Arc_consistency.establish ac4 && Arc_consistency.establish naive)
+        then true
+        else
+          let doms ctx = List.init n (Arc_consistency.dom_values ctx) in
+          let before = doms ac4 in
+          let pick = ref None in
+          for x = n - 1 downto 0 do
+            if Arc_consistency.dom_size ac4 x >= 2 then pick := Some x
+          done;
+          match !pick with
+          | None -> doms ac4 = doms naive
+          | Some x ->
+            let v = List.hd (Arc_consistency.dom_values ac4 x) in
+            Arc_consistency.push ac4;
+            Arc_consistency.push naive;
+            let r4 = Arc_consistency.assign ac4 x v in
+            let rn = Arc_consistency.assign naive x v in
+            let agree_mid = r4 = rn && (not r4 || doms ac4 = doms naive) in
+            Arc_consistency.pop ac4;
+            Arc_consistency.pop naive;
+            agree_mid && doms ac4 = before && doms naive = before);
     qtest ~count:100 "binarize preserves hom existence (Lemma 5.5)"
       (arbitrary_pair ~max_size_a:3 ~max_size_b:3 ~max_tuples:3 ())
       (fun (a, b) ->
