@@ -1137,9 +1137,180 @@ let e16 () =
       ("yannakakis_ns_per_unit", ns_per_unit yk_series, false);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* E17: integer-encoded pebble engine and indexed Datalog joins         *)
+(* ------------------------------------------------------------------ *)
+
+(* Merge entries into BENCH_perf.json instead of overwriting, so
+   `main e16 e17` accumulates one artifact; a standalone e17 run creates
+   the file. *)
+let append_perf_json entries =
+  let existing =
+    if Sys.file_exists "BENCH_perf.json" then begin
+      let ic = open_in_bin "BENCH_perf.json" in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let s = String.trim s in
+      let len = String.length s in
+      if len >= 2 && s.[0] = '[' && s.[len - 1] = ']' then
+        match String.trim (String.sub s 1 (len - 2)) with
+        | "" -> None
+        | inner -> Some inner
+      else None
+    end
+    else None
+  in
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc "[\n";
+  (match existing with
+  | Some inner ->
+    output_string oc inner;
+    output_string oc ",\n"
+  | None -> ());
+  output_string oc (String.concat ",\n" entries);
+  output_string oc "\n]\n";
+  close_out oc
+
+let e17 () =
+  Util.header
+    "E17 Integer-encoded k-pebble game: support counters vs delete-and-rescan";
+  let json = ref [] in
+  let record family ~k s a b naive counting (stats : Pebble.Game.stats) =
+    json :=
+      Printf.sprintf
+        "  {\"family\": %S, \"k\": %d, \"size\": %d, \"norm_a\": %d, \"norm_b\": %d,\n\
+        \   \"naive_s\": %s, \"counting_s\": %.6e, \"configs_ranked\": %d,\n\
+        \   \"supports_built\": %d, \"deaths_propagated\": %d}"
+        family k s (Structure.norm a) (Structure.norm b)
+        (match naive with Some t -> Printf.sprintf "%.6e" t | None -> "null")
+        counting stats.Pebble.Game.configs_ranked
+        stats.Pebble.Game.supports_built stats.Pebble.Game.deaths_propagated
+      :: !json
+  in
+  let measure family ~k source target sizes =
+    List.map
+      (fun s ->
+        let a = source s and b = target s in
+        (* The naive engine dominates the large sizes; one timing of it
+           suffices for a reference ratio. *)
+        let (fn, _, _), tn =
+          Util.time ~repeat:1 (fun () ->
+              Pebble.Game.run_traced ~engine:`Naive ~k a b)
+        in
+        let (fc, _, stats), tc =
+          Util.time ~repeat:3 (fun () ->
+              Pebble.Game.run_traced ~engine:`Counting ~k a b)
+        in
+        (* Differential: the winning family is the unique greatest fixpoint,
+           so the engines must agree configuration for configuration. *)
+        assert (List.sort compare fn = List.sort compare fc);
+        record family ~k s a b (Some tn) tc stats;
+        ( (s, Structure.norm a * Structure.norm b, tn, tc),
+          [ family; int k; int s; int (Structure.norm a);
+            int (Structure.norm b); f2s tn; f2s tc;
+            Printf.sprintf "%.1fx" (tn /. tc) ] ))
+      sizes
+  in
+  (* Family 1 (k=2): the E16 deep-cascade shape — a long path into the
+     dense staircase tournament with a floor loop, so the fixpoint is
+     reached wave by wave and both engines do their worst-case pruning. *)
+  let cascade =
+    measure "cascade-k2" ~k:2
+      (fun s -> Core.Workloads.path (2 * s))
+      dense_floor [ 4; 6; 8; 10; 12 ]
+  in
+  (* Family 2 (k=3): odd cycles vs K2 — the Spoiler wins (no 2-colouring),
+     exercising the death-propagation worklist all the way to the empty
+     configuration. *)
+  let odd =
+    measure "odd-cycle-k3" ~k:3
+      (fun s -> Core.Workloads.undirected_cycle ((2 * s) + 1))
+      (fun _ -> Core.Workloads.k2)
+      [ 2; 3; 4; 5 ]
+  in
+  Util.table
+    ~columns:
+      [ "family"; "k"; "s"; "||A||"; "||B||"; "naive"; "counting"; "speedup" ]
+    (List.map snd (cascade @ odd));
+  let largest_speedup =
+    match List.rev cascade with
+    | ((_, _, tn, tc), _) :: _ -> tn /. tc
+    | [] -> nan
+  in
+  Util.note "cascade-k2 speedup at the largest size: %.1fx (acceptance floor: 10x)."
+    largest_speedup;
+  assert (largest_speedup >= 10.0);
+  (* Scaling against the work product ||A||*||B|| at fixed k: the counting
+     engine's fitted exponent must not exceed the naive engine's. *)
+  let counting_series =
+    List.map (fun ((_, w, _, tc), _) -> (w, tc)) cascade
+  in
+  let expo_counting = Util.fitted_exponent counting_series in
+  let expo_naive =
+    Util.fitted_exponent (List.map (fun ((_, w, tn, _), _) -> (w, tn)) cascade)
+  in
+  Util.note "pebble time ~ (||A||*||B||)^e: e = %.2f (counting), %.2f (naive)."
+    expo_counting expo_naive;
+  assert (expo_counting <= expo_naive);
+  (* Datalog with indexed joins: transitive closure of a path, semi-naive.
+     The closure has exactly n(n-1)/2 facts, so ns per derived fact is the
+     scale-free cost of the join machinery. *)
+  let tc_program =
+    Datalog.Program.make ~goal:"T"
+      [
+        Datalog.Program.rule
+          (Datalog.Program.atom "T" [ "x"; "y" ])
+          [ Datalog.Program.atom "E" [ "x"; "y" ] ];
+        Datalog.Program.rule
+          (Datalog.Program.atom "T" [ "x"; "z" ])
+          [ Datalog.Program.atom "E" [ "x"; "y" ];
+            Datalog.Program.atom "T" [ "y"; "z" ] ];
+      ]
+  in
+  let tc_results =
+    List.map
+      (fun n ->
+        let a = Core.Workloads.path n in
+        let (_, stats), t =
+          Util.time ~repeat:3 (fun () ->
+              Datalog.Eval.fixpoint_with_stats tc_program a)
+        in
+        let derived = stats.Datalog.Eval.derived in
+        assert (derived = n * (n - 1) / 2);
+        json :=
+          Printf.sprintf
+            "  {\"family\": \"datalog-tc\", \"size\": %d, \"norm_a\": %d,\n\
+            \   \"derived\": %d, \"rounds\": %d, \"seminaive_s\": %.6e}"
+            n (Structure.norm a) derived stats.Datalog.Eval.rounds t
+          :: !json;
+        ( (derived, t),
+          [ "datalog-tc"; int n; int derived; int stats.Datalog.Eval.rounds;
+            f2s t; Printf.sprintf "%.0f" (t *. 1e9 /. float_of_int derived) ] ))
+      [ 32; 48; 64; 96 ]
+  in
+  Util.table
+    ~columns:[ "family"; "n"; "derived"; "rounds"; "seminaive"; "ns/fact" ]
+    (List.map snd tc_results);
+  let tc_series = List.map fst tc_results in
+  let expo_tc = Util.fitted_exponent tc_series in
+  Util.note "seminaive TC time ~ derived^e: e = %.2f." expo_tc;
+  append_perf_json (List.rev !json);
+  Util.note "merged E17 rows into BENCH_perf.json.";
+  let ns_per_unit series =
+    match List.rev series with
+    | (w, t) :: _ -> t *. 1e9 /. float_of_int w
+    | [] -> nan
+  in
+  perf_guard
+    [
+      ("pebble_speedup_largest", largest_speedup, true);
+      ("pebble_counting_ns_per_unit", ns_per_unit counting_series, false);
+      ("datalog_tc_ns_per_derived", ns_per_unit tc_series, false);
+    ]
+
 let all = [
   ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
   ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
   ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("ablations", ablations);
-  ("certify", certify); ("e16", e16);
+  ("certify", certify); ("e16", e16); ("e17", e17);
 ]

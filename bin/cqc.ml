@@ -79,7 +79,7 @@ let budget_of ~max_nodes ~timeout =
 
 let print_attempts attempts =
   List.iter
-    (fun { Core.Solver.route; nodes; outcome } ->
+    (fun { Core.Solver.route; nodes; outcome; detail } ->
       let outcome =
         match outcome with
         | Core.Solver.Decided -> "decided"
@@ -89,7 +89,10 @@ let print_attempts attempts =
         | Core.Solver.Inapplicable -> "inapplicable"
       in
       Format.printf "  %-32s %8d nodes  %s@." (Core.Solver.route_name route) nodes
-        outcome)
+        outcome;
+      match detail with
+      | Some d -> Format.printf "  %-32s %s@." "" d
+      | None -> ())
     attempts
 
 (* The exit code a three-valued verdict maps to: definite answers exit 0,
@@ -331,14 +334,20 @@ let count_cmd =
       const count $ max_nodes_term $ timeout_term $ structure_arg ~docv:"SOURCE" 0
       $ structure_arg ~docv:"TARGET" 1)
 
-let game k a b =
+let game k engine show_stats a b =
   run (fun () ->
       let a = read_structure a and b = read_structure b in
-      let wins, stats = Pebble.Game.duplicator_wins_with_stats ~k a b in
+      let wins, stats = Pebble.Game.duplicator_wins_with_stats ~engine ~k a b in
       Format.printf "existential %d-pebble game: %s wins@." k
         (if wins then "the Duplicator" else "the Spoiler");
       Format.printf "partial homomorphisms: %d generated, %d pruned@."
         stats.Pebble.Game.initial_configs stats.Pebble.Game.removed;
+      if show_stats then
+        Format.printf
+          "engine counters: %d configs ranked, %d supports built, %d deaths \
+           propagated@."
+          stats.Pebble.Game.configs_ranked stats.Pebble.Game.supports_built
+          stats.Pebble.Game.deaths_propagated;
       if not wins then Format.printf "consequence: no homomorphism SOURCE -> TARGET@."
       else
         Format.printf
@@ -349,11 +358,31 @@ let game_cmd =
   let k =
     Arg.(value & opt int 2 & info [ "k"; "pebbles" ] ~docv:"K" ~doc:"Number of pebbles.")
   in
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("counting", `Counting); ("naive", `Naive) ]) `Counting
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Fixpoint engine: counting (integer-encoded support counters, the \
+             default) or naive (the list-based reference).  Both compute the \
+             identical winning family.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Also print the counting engine's internal counters: configurations \
+             ranked, support-counter increments, and deaths propagated through \
+             the worklist (all zero under --engine naive).")
+  in
   Cmd.v
     (Cmd.info "game" ~exits
        ~doc:"Play the existential k-pebble game (strong k-consistency)")
     Term.(
-      const game $ k $ structure_arg ~docv:"SOURCE" 0 $ structure_arg ~docv:"TARGET" 1)
+      const game $ k $ engine $ stats $ structure_arg ~docv:"SOURCE" 0
+      $ structure_arg ~docv:"TARGET" 1)
 
 let fo_check formula_text a =
   run (fun () ->

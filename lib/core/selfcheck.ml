@@ -175,6 +175,33 @@ let ac_differential note a b =
       compare_domains "after pop"
   end
 
+(* Differential check of the pebble-game engines: the integer-encoded
+   support-counter engine and the naive list engine compute the same
+   greatest fixpoint (the winning family is unique), so their families
+   must be identical and, on a Spoiler win, the counting engine's trace
+   must replay through the trusted checker. *)
+let pebble_differential note ~budget a b =
+  let family engine =
+    match
+      Pebble.Game.winning_family_with_trace ~budget:(budget ()) ~engine ~k:2 a b
+    with
+    | family, trace -> Some (List.sort compare family, trace)
+    | exception Budget.Exhausted _ -> None
+  in
+  match (family `Counting, family `Naive) with
+  | Some (fc, trace), Some (fn, _) ->
+    if fc <> fn then
+      note
+        (Printf.sprintf
+           "pebble-differential: families differ (counting %d, naive %d configs)"
+           (List.length fc) (List.length fn));
+    if fc = [] && Structure.size a > 0 then begin
+      let cert = Certify.of_consistency ~trace b in
+      if not (Certificate.check a b cert) then
+        note "pebble-differential: counting-engine Spoiler trace rejected"
+    end
+  | _ -> ()
+
 (* The full portfolio, with its verdict checked against its own
    certificate by the trusted checker. *)
 let portfolio ~budget ?booleanize_threshold ?max_treewidth ?consistency_k name a b =
@@ -229,6 +256,7 @@ let check_instance ~max_nodes seed a b =
     (fun (name, claim) -> push name claim)
     (routes ~budget a b);
   ac_differential note a b;
+  pebble_differential note ~budget a b;
   (* Cross-route agreement: no Yes may meet a No. *)
   let yes = List.filter (fun (_, c) -> c = Yes) !claims in
   let no = List.filter (fun (_, c) -> c = No) !claims in

@@ -30,7 +30,12 @@ type attempt_outcome =
   | Exhausted of Budget.exhausted_reason
   | Inapplicable
 
-type attempt = { route : route; nodes : int; outcome : attempt_outcome }
+type attempt = {
+  route : route;
+  nodes : int;
+  outcome : attempt_outcome;
+  detail : string option;
+}
 
 type result = { verdict : verdict; route : route; attempts : attempt list }
 
@@ -60,8 +65,8 @@ type route_answer =
 let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
     ?(budget = Budget.unlimited) a b =
   let attempts = ref [] in
-  let record route nodes outcome =
-    attempts := { route; nodes; outcome } :: !attempts
+  let record ?detail route nodes outcome =
+    attempts := { route; nodes; outcome; detail } :: !attempts
   in
   let finish verdict route = { verdict; route; attempts = List.rev !attempts } in
   (* Domain pruning inherited from a non-refuting k-consistency pass. *)
@@ -174,11 +179,18 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
   let try_consistency () =
     let route = Consistency_refutation consistency_k in
     let s = slice_for 4 in
-    match Pebble.Game.winning_family_with_trace ~budget:s ~k:consistency_k a b with
-    | [], trace ->
-      record route (Budget.spent s) Decided;
+    let engine_detail (st : Pebble.Game.stats) =
+      Some
+        (Printf.sprintf
+           "configs ranked %d, supports built %d, deaths propagated %d"
+           st.Pebble.Game.configs_ranked st.Pebble.Game.supports_built
+           st.Pebble.Game.deaths_propagated)
+    in
+    match Pebble.Game.run_traced ~budget:s ~k:consistency_k a b with
+    | [], trace, stats ->
+      record ?detail:(engine_detail stats) route (Budget.spent s) Decided;
       Some (finish (Unsat (Certify.of_consistency ~trace b)) route)
-    | family, _ ->
+    | family, _, stats ->
       (* Sound pruning: a pair [(x, v)] whose singleton configuration was
          removed from the winning family lies on no homomorphism, so the
          backtracking route may skip it outright. *)
@@ -188,7 +200,7 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
           match cfg with [ (x, v) ] -> Hashtbl.replace singles (x, v) () | _ -> ())
         family;
       restriction := Some (fun x v -> Hashtbl.mem singles (x, v));
-      record route (Budget.spent s) Pruned;
+      record ?detail:(engine_detail stats) route (Budget.spent s) Pruned;
       None
     | exception Budget.Exhausted reason ->
       record route (Budget.spent s) (Exhausted reason);

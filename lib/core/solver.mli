@@ -81,6 +81,10 @@ type attempt = {
   route : route;
   nodes : int;  (** Budget ticks this route consumed. *)
   outcome : attempt_outcome;
+  detail : string option;
+      (** Route-specific counters, when the route reports any: the
+          k-consistency pass reports the counting engine's configs ranked,
+          supports built and deaths propagated. *)
 }
 
 type result = {

@@ -4,16 +4,47 @@ type strategy = Naive | Seminaive
 
 type stats = { rounds : int; derived : int }
 
-(* Evaluate one rule against the given fact lookup.  [delta] optionally
-   designates one body-atom index whose relation is replaced, to implement
-   semi-naive evaluation.  Returns the derived head tuples. *)
-let eval_rule ~universe ~facts ?delta (r : Program.rule) =
+(* A rule compiled once per fixpoint: variable names are numbered into
+   dense slots up front, so the join loop works on int arrays instead of
+   [List.assoc] lookups, and each body atom carries its argument-position
+   slot array ready for index probes. *)
+type compiled_atom = { pred : string; arity : int; positions : int array }
+
+type compiled_rule = {
+  head_pred : string;
+  head_positions : int array;
+  body : compiled_atom array;
+  nvars : int;
+}
+
+let compile_rule (r : Program.rule) =
   let vars = Program.rule_variables r in
-  let index = List.mapi (fun i v -> (v, i)) vars in
-  let var v = List.assoc v index in
-  let subst = Array.make (List.length vars) (-1) in
+  let slots = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace slots v i) vars;
+  let var v = Hashtbl.find slots v in
+  {
+    head_pred = r.Program.head.pred;
+    head_positions = Array.map var r.Program.head.args;
+    body =
+      Array.of_list
+        (List.map
+           (fun (a : Program.atom) ->
+             {
+               pred = a.Program.pred;
+               arity = Array.length a.Program.args;
+               positions = Array.map var a.Program.args;
+             })
+           r.Program.body);
+    nvars = List.length vars;
+  }
+
+(* Evaluate one compiled rule against the given fact lookup.  [delta]
+   optionally designates one body-atom index whose relation is replaced,
+   to implement semi-naive evaluation.  Returns the derived head tuples. *)
+let eval_rule ~universe ~facts ?delta cr =
+  let subst = Array.make (max 1 cr.nvars) (-1) in
   let out = ref [] in
-  let head_positions = Array.map var r.Program.head.args in
+  let head_positions = cr.head_positions in
   (* Emit head instances, ranging unbound head variables over the universe
      consistently (the same variable gets the same value). *)
   let rec emit_from i =
@@ -29,17 +60,34 @@ let eval_rule ~universe ~facts ?delta (r : Program.rule) =
       subst.(v) <- -1
     end
   in
-  let rec join atoms i =
-    match atoms with
-    | [] -> emit_from 0
-    | (a : Program.atom) :: rest ->
+  let natoms = Array.length cr.body in
+  let rec join i =
+    if i >= natoms then emit_from 0
+    else begin
+      let a = cr.body.(i) in
       let rel =
-        match delta with
-        | Some (j, d) when j = i -> d
-        | _ -> facts a.Program.pred (Array.length a.Program.args)
+        match delta with Some (j, d) when j = i -> d | _ -> facts a.pred a.arity
       in
-      let positions = Array.map var a.Program.args in
-      Relation.iter
+      let positions = a.positions in
+      (* Bound-prefix probe: when some argument position is already bound,
+         pull only the matching tuples through the relation's hash index
+         instead of scanning the whole relation. *)
+      let probe = ref (-1) in
+      (try
+         Array.iteri
+           (fun p v ->
+             if subst.(v) >= 0 then begin
+               probe := p;
+               raise Exit
+             end)
+           positions
+       with Exit -> ());
+      let candidates =
+        if !probe >= 0 then
+          Relation.matching rel ~pos:!probe ~value:subst.(positions.(!probe))
+        else Relation.tuples_array rel
+      in
+      Array.iter
         (fun t ->
           let bound = ref [] in
           let ok = ref true in
@@ -52,11 +100,12 @@ let eval_rule ~universe ~facts ?delta (r : Program.rule) =
                 end
                 else if subst.(v) <> t.(p) then ok := false)
             positions;
-          if !ok then join rest (i + 1);
+          if !ok then join (i + 1);
           List.iter (fun v -> subst.(v) <- -1) !bound)
-        rel
+        candidates
+    end
   in
-  join r.Program.body 0;
+  join 0;
   !out
 
 let fixpoint_with_stats ?(strategy = Seminaive) p structure =
@@ -87,6 +136,7 @@ let fixpoint_with_stats ?(strategy = Seminaive) p structure =
     fresh
   in
   let rounds = ref 0 in
+  let rules = List.map compile_rule p.Program.rules in
   (match strategy with
   | Naive ->
     let changed = ref true in
@@ -94,10 +144,10 @@ let fixpoint_with_stats ?(strategy = Seminaive) p structure =
       incr rounds;
       changed := false;
       List.iter
-        (fun r ->
-          let tuples = eval_rule ~universe ~facts r in
-          if not (Relation.is_empty (add r.Program.head.pred tuples)) then changed := true)
-        p.Program.rules
+        (fun cr ->
+          let tuples = eval_rule ~universe ~facts cr in
+          if not (Relation.is_empty (add cr.head_pred tuples)) then changed := true)
+        rules
     done
   | Seminaive ->
     (* Round 0: full evaluation (IDB tables are empty, so only rules without
@@ -108,11 +158,11 @@ let fixpoint_with_stats ?(strategy = Seminaive) p structure =
       (fun name -> Hashtbl.replace deltas name (Relation.empty (Program.predicate_arity p name)))
       idbs;
     List.iter
-      (fun r ->
-        let fresh = add r.Program.head.pred (eval_rule ~universe ~facts r) in
-        Hashtbl.replace deltas r.Program.head.pred
-          (Relation.union (Hashtbl.find deltas r.Program.head.pred) fresh))
-      p.Program.rules;
+      (fun cr ->
+        let fresh = add cr.head_pred (eval_rule ~universe ~facts cr) in
+        Hashtbl.replace deltas cr.head_pred
+          (Relation.union (Hashtbl.find deltas cr.head_pred) fresh))
+      rules;
     let any_delta () =
       Hashtbl.fold (fun _ d acc -> acc || not (Relation.is_empty d)) deltas false
     in
@@ -125,21 +175,21 @@ let fixpoint_with_stats ?(strategy = Seminaive) p structure =
             (Relation.empty (Program.predicate_arity p name)))
         idbs;
       List.iter
-        (fun r ->
-          List.iteri
-            (fun i (a : Program.atom) ->
-              if List.mem a.Program.pred idbs then begin
-                let d = Hashtbl.find deltas a.Program.pred in
+        (fun cr ->
+          Array.iteri
+            (fun i a ->
+              if List.mem a.pred idbs then begin
+                let d = Hashtbl.find deltas a.pred in
                 if not (Relation.is_empty d) then begin
                   let fresh =
-                    add r.Program.head.pred (eval_rule ~universe ~facts ~delta:(i, d) r)
+                    add cr.head_pred (eval_rule ~universe ~facts ~delta:(i, d) cr)
                   in
-                  Hashtbl.replace new_deltas r.Program.head.pred
-                    (Relation.union (Hashtbl.find new_deltas r.Program.head.pred) fresh)
+                  Hashtbl.replace new_deltas cr.head_pred
+                    (Relation.union (Hashtbl.find new_deltas cr.head_pred) fresh)
                 end
               end)
-            r.Program.body)
-        p.Program.rules;
+            cr.body)
+        rules;
       Hashtbl.reset deltas;
       Hashtbl.iter (fun name d -> Hashtbl.replace deltas name d) new_deltas
     done);

@@ -20,7 +20,7 @@ let class_name = function
 
 let pp_class ppf c = Format.pp_print_string ppf (class_name c)
 
-let relation_in_class r = function
+let closure_test r = function
   | Zero_valid -> Boolean_relation.mem r 0
   | One_valid -> Boolean_relation.mem r ((1 lsl Boolean_relation.arity r) - 1)
   | Horn -> Boolean_relation.closed_under2 r Boolean_relation.tuple_and
@@ -28,7 +28,30 @@ let relation_in_class r = function
   | Bijunctive -> Boolean_relation.closed_under3 r Boolean_relation.tuple_majority
   | Affine -> Boolean_relation.closed_under3 r Boolean_relation.tuple_xor3
 
-let relation_classes r = List.filter (relation_in_class r) all_classes
+(* The closure tests are quadratic (Horn, dual Horn) or cubic (bijunctive,
+   affine) in the relation's cardinality, and repeated solves against the
+   same target re-run them on identical relations; memoize the class list
+   per relation value.  The key [(arity, masks)] describes the Boolean
+   relation canonically (masks are sorted).  The table is bounded: at
+   capacity it is reset wholesale rather than evicted entry by entry,
+   which keeps lookups O(1) without an LRU structure. *)
+let cache_capacity = 4096
+
+let class_cache : (int * int list, schaefer_class list) Hashtbl.t =
+  Hashtbl.create 256
+
+let relation_classes r =
+  let key = (Boolean_relation.arity r, Boolean_relation.masks r) in
+  match Hashtbl.find_opt class_cache key with
+  | Some classes -> classes
+  | None ->
+    let classes = List.filter (closure_test r) all_classes in
+    if Hashtbl.length class_cache >= cache_capacity then
+      Hashtbl.reset class_cache;
+    Hashtbl.replace class_cache key classes;
+    classes
+
+let relation_in_class r c = List.mem c (relation_classes r)
 
 let is_boolean_structure b = Structure.size b = 2
 

@@ -32,7 +32,11 @@ val pp_class : Format.formatter -> schaefer_class -> unit
 val relation_in_class : Boolean_relation.t -> schaefer_class -> bool
 
 val relation_classes : Boolean_relation.t -> schaefer_class list
-(** All classes the relation belongs to, in the order of {!all_classes}. *)
+(** All classes the relation belongs to, in the order of {!all_classes}.
+    Memoized per relation value (keyed by arity and tuple masks, bounded
+    table), so repeated solves against the same target structure do not
+    re-run the closure tests; {!relation_in_class}, {!structure_classes}
+    and {!classify} share the cache. *)
 
 val is_boolean_structure : Structure.t -> bool
 (** Universe of size exactly 2. *)

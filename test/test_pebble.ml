@@ -112,6 +112,141 @@ let monotonicity_tests =
           f3);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* The integer-encoded counting engine vs the naive reference.          *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_family ?budget ~engine ~k a b =
+  List.sort compare (Game.winning_family ?budget ~engine ~k a b)
+
+let engines_agree ~k (a, b) =
+  sorted_family ~engine:`Counting ~k a b = sorted_family ~engine:`Naive ~k a b
+
+let raises_invalid f =
+  match f () with _ -> false | exception Invalid_argument _ -> true
+
+let encoding_tests =
+  [
+    Alcotest.test_case "rank/unrank round-trips every code" `Quick (fun () ->
+        List.iter
+          (fun (n, m, k) ->
+            match Game.Encoding.create ~n ~m ~k with
+            | None -> Alcotest.failf "encoding (%d,%d,%d) over capacity" n m k
+            | Some enc ->
+              let total = Game.Encoding.configs enc in
+              for c = 0 to total - 1 do
+                let cfg = Game.Encoding.unrank enc c in
+                if Game.Encoding.rank enc cfg <> c then
+                  Alcotest.failf "rank(unrank %d) <> %d at (n=%d,m=%d,k=%d)" c c n
+                    m k
+              done)
+          [ (1, 1, 1); (3, 2, 2); (4, 3, 3); (5, 2, 4); (2, 5, 2) ]);
+    Alcotest.test_case "code count matches the closed form" `Quick (fun () ->
+        (* sum over domain sizes d <= k of C(n, d) * m^d *)
+        let closed_form n m k =
+          let binom n r =
+            let r = min r (n - r) in
+            let acc = ref 1 in
+            for i = 0 to r - 1 do
+              acc := !acc * (n - i) / (i + 1)
+            done;
+            !acc
+          in
+          let pow m d =
+            let acc = ref 1 in
+            for _ = 1 to d do acc := !acc * m done;
+            !acc
+          in
+          let total = ref 0 in
+          for d = 0 to min k n do
+            total := !total + (binom n d * pow m d)
+          done;
+          !total
+        in
+        List.iter
+          (fun (n, m, k) ->
+            match Game.Encoding.create ~n ~m ~k with
+            | None -> Alcotest.failf "encoding (%d,%d,%d) over capacity" n m k
+            | Some enc ->
+              Alcotest.(check int)
+                (Printf.sprintf "configs at (n=%d,m=%d,k=%d)" n m k)
+                (closed_form n m k)
+                (Game.Encoding.configs enc))
+          [ (1, 1, 1); (3, 2, 2); (4, 3, 3); (5, 2, 4); (6, 3, 2) ]);
+    Alcotest.test_case "the empty configuration ranks to 0" `Quick (fun () ->
+        match Game.Encoding.create ~n:4 ~m:3 ~k:2 with
+        | None -> Alcotest.fail "encoding over capacity"
+        | Some enc ->
+          Alcotest.(check int) "rank []" 0 (Game.Encoding.rank enc []);
+          check "unrank 0" true (Game.Encoding.unrank enc 0 = []));
+    Alcotest.test_case "rank rejects malformed configurations" `Quick (fun () ->
+        match Game.Encoding.create ~n:3 ~m:2 ~k:2 with
+        | None -> Alcotest.fail "encoding over capacity"
+        | Some enc ->
+          check "unsorted domain" true
+            (raises_invalid (fun () -> Game.Encoding.rank enc [ (1, 0); (0, 0) ]));
+          check "repeated domain" true
+            (raises_invalid (fun () -> Game.Encoding.rank enc [ (0, 0); (0, 1) ]));
+          check "image out of range" true
+            (raises_invalid (fun () -> Game.Encoding.rank enc [ (0, 5) ]));
+          check "domain larger than k" true
+            (raises_invalid (fun () ->
+                 Game.Encoding.rank enc [ (0, 0); (1, 0); (2, 0) ]));
+          check "unrank out of range" true
+            (raises_invalid (fun () ->
+                 Game.Encoding.unrank enc (Game.Encoding.configs enc))));
+  ]
+
+let counter_tests =
+  [
+    Alcotest.test_case "support counters audit on fixed instances" `Quick (fun () ->
+        check "C5 vs K2, k=2" true (Game.counter_invariant ~k:2 (undirected_cycle 5) k2);
+        check "C6 vs K2, k=3" true (Game.counter_invariant ~k:3 (undirected_cycle 6) k2);
+        check "K4 vs K3, k=2" true (Game.counter_invariant ~k:2 (clique 4) (clique 3));
+        check "C7 vs K2, k=3 (spoiler win)" true
+          (Game.counter_invariant ~k:3 (undirected_cycle 7) k2));
+    qtest ~count:80 "support counters match surviving extensions (k=2)"
+      (arbitrary_pair ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
+      (fun (a, b) -> Game.counter_invariant ~k:2 a b);
+    qtest ~count:40 "support counters match surviving extensions (k=3)"
+      (arbitrary_pair ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
+      (fun (a, b) -> Game.counter_invariant ~k:3 a b);
+  ]
+
+let differential_tests =
+  [
+    qtest ~count:200 "engines agree on the winning family (k=2)"
+      (arbitrary_pair ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
+      (engines_agree ~k:2);
+    qtest ~count:100 "engines agree on the winning family (k=3)"
+      (arbitrary_pair ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
+      (engines_agree ~k:3);
+    qtest ~count:60 "counting-engine spoiler traces replay through the checker"
+      (arbitrary_pair ~max_size_a:4 ~max_size_b:2 ~max_tuples:4 ())
+      (fun (a, b) ->
+        match Game.winning_family_with_trace ~engine:`Counting ~k:2 a b with
+        | [], trace -> Certificate.check a b (Core.Certify.of_consistency ~trace b)
+        | _ -> true);
+    qtest ~count:60 "tight budgets: engines agree whenever both finish"
+      (arbitrary_pair ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
+      (fun (a, b) ->
+        List.for_all
+          (fun max_nodes ->
+            let run engine =
+              let budget = Budget.create ~max_nodes () in
+              match sorted_family ~budget ~engine ~k:2 a b with
+              | f -> Some f
+              | exception Budget.Exhausted _ -> None
+            in
+            match (run `Counting, run `Naive) with
+            | Some fc, Some fn -> fc = fn
+            | _ ->
+              (* An exhaustion point may differ between engines; the only
+                 requirement is that no wrong family is ever returned. *)
+              true)
+          [ 1; 10; 100; 1000 ]);
+  ]
+
 let strategy_tests =
   [
     Alcotest.test_case "no strategy when the spoiler wins" `Quick (fun () ->
@@ -168,4 +303,6 @@ let strategy_tests =
 let () =
   Alcotest.run "pebble"
     [ ("game", game_tests); ("properties", property_tests);
-      ("monotonicity", monotonicity_tests); ("strategy", strategy_tests) ]
+      ("monotonicity", monotonicity_tests); ("encoding", encoding_tests);
+      ("counters", counter_tests); ("differential", differential_tests);
+      ("strategy", strategy_tests) ]

@@ -81,6 +81,19 @@ let classify_tests =
         let r = Boolean_relation.create 2 [ 0b01; 0b10 ] in
         Alcotest.(check (list string)) "classes" [ "bijunctive"; "affine" ]
           (List.map Classify.class_name (Classify.relation_classes r)));
+    Alcotest.test_case "classification is stable across repeated (cached) calls" `Quick
+      (fun () ->
+        (* The first call computes the closure tests, the second hits the
+           memo table; equal relations built independently share the key. *)
+        let r = Boolean_relation.create 2 [ 0b00; 0b10; 0b11 ] in
+        let first = Classify.relation_classes r in
+        Alcotest.(check (list string))
+          "second call" (List.map Classify.class_name first)
+          (List.map Classify.class_name (Classify.relation_classes r));
+        let r' = Boolean_relation.create 2 [ 0b11; 0b10; 0b00 ] in
+        Alcotest.(check (list string))
+          "structurally equal relation" (List.map Classify.class_name first)
+          (List.map Classify.class_name (Classify.relation_classes r')));
     Alcotest.test_case "structure classes intersect over relations" `Quick (fun () ->
         let v = Vocabulary.create [ ("R", 2); ("S", 2) ] in
         let b =
