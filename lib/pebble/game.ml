@@ -43,12 +43,13 @@ module Encoding = struct
     counter_slots : int;
   }
 
-  (* Beyond this many ranked codes (or counter slots) the flat arrays stop
-     being an optimisation and start being an allocation hazard; callers
-     fall back to the streaming list engine, whose budget governs. *)
+  (* Beyond this many ranked codes, counter slots or per-subset extension
+     slots the flat arrays stop being an optimisation and start being an
+     allocation hazard; callers fall back to the streaming list engine,
+     whose budget governs. *)
   let capacity = 1 lsl 26
 
-  let create ~n ~m ~k =
+  let create ?(budget = Budget.unlimited) ~n ~m ~k () =
     if n <= 0 || m <= 0 || k < 1 then invalid_arg "Game.Encoding.create";
     let k = min k n in
     let pow = Array.make (k + 1) 1 in
@@ -59,19 +60,26 @@ module Encoding = struct
     done;
     if not !pow_ok then None
     else begin
-      (* Enumerate subsets in DFS preorder, watching both capacities. *)
+      (* Enumerate subsets in DFS preorder, watching all three capacities:
+         ranked codes, counter slots, and the n-sized extension tables that
+         every subset below size k carries (ext_sid/ext_pos/free_idx). *)
       let subsets = ref [] and count = ref 0 in
-      let total = ref 0 and counter_slots = ref 0 in
+      let total = ref 0 and counter_slots = ref 0 and ext_slots = ref 0 in
       let over = ref false in
       let rec extend subset d start =
         if !over then ()
         else begin
+          Budget.tick budget;
           subsets := subset :: !subsets;
           incr count;
           total := !total + pow.(d);
-          if d < k && n - d > 0 then
-            counter_slots := !counter_slots + (pow.(d) * (n - d));
-          if !total > capacity || !counter_slots > capacity then over := true
+          if d < k then begin
+            ext_slots := !ext_slots + n;
+            if n - d > 0 then
+              counter_slots := !counter_slots + (pow.(d) * (n - d))
+          end;
+          if !total > capacity || !counter_slots > capacity || !ext_slots > capacity
+          then over := true
           else if d < k then
             for x = start to n - 1 do
               extend (subset @ [ x ]) (d + 1) (x + 1)
@@ -107,14 +115,18 @@ module Encoding = struct
                     (List.filteri (fun i _ -> i <> j) (Array.to_list s))))
             elems
         in
+        (* The n-sized extension tables exist only below size k; the
+           dominant |S| = k subsets never consult them, so they all share
+           the one empty array the rows were initialised with. *)
         let ext_sid = Array.make nsubsets [||] and ext_pos = Array.make nsubsets [||] in
         let free = Array.make nsubsets [||] and free_idx = Array.make nsubsets [||] in
         Array.iteri
           (fun sid s ->
+            Budget.tick budget;
             let d = Array.length s in
-            let esid = Array.make n (-1) and epos = Array.make n (-1) in
-            let fidx = Array.make n (-1) in
             if d < k then begin
+              let esid = Array.make n (-1) and epos = Array.make n (-1) in
+              let fidx = Array.make n (-1) in
               let fr = ref [] in
               for x = n - 1 downto 0 do
                 if not (Array.exists (( = ) x) s) then begin
@@ -128,11 +140,11 @@ module Encoding = struct
               done;
               let fr = Array.of_list !fr in
               Array.iteri (fun i x -> fidx.(x) <- i) fr;
-              free.(sid) <- fr
-            end;
-            ext_sid.(sid) <- esid;
-            ext_pos.(sid) <- epos;
-            free_idx.(sid) <- fidx)
+              free.(sid) <- fr;
+              ext_sid.(sid) <- esid;
+              ext_pos.(sid) <- epos;
+              free_idx.(sid) <- fidx
+            end)
           elems;
         Some
           {
@@ -233,6 +245,38 @@ let run_counting ?(verify = false) ~budget ~k:_ enc a b =
           | exception Not_found -> None ))
       (Vocabulary.symbols (Structure.vocabulary a))
   in
+  (* Nullary facts constrain every configuration, including the empty one;
+     the per-position tuple gathering below never sees arity-0 symbols, so
+     check them up front.  A 0-ary fact of A missing from B (or whose
+     relation is absent from B) means no configuration at all is a partial
+     homomorphism — the Spoiler wins before placing a pebble, and the
+     one-step derivation "the empty position cannot place element 0"
+     replays through the certificate checker, which re-checks nullary
+     facts on every candidate extension. *)
+  let nullary_ok =
+    List.for_all
+      (fun (name, arity, target) ->
+        arity > 0
+        || Relation.for_all
+             (fun t ->
+               match target with
+               | None -> false
+               | Some ix -> Relation.Index.mem ix t)
+             (Structure.relation a name))
+      target_index
+  in
+  if not nullary_ok then
+    ( [],
+      [ ([], 0) ],
+      {
+        initial_configs = 0;
+        removed = 0;
+        configs_ranked = enc.total;
+        supports_built = 0;
+        deaths_propagated = 0;
+      },
+      true )
+  else
   (* The constraining tuples of A newly within subset [sid]: those
      containing its maximum element with every component inside the
      subset.  Gathered through the per-(position, value) indexes of A, so
@@ -463,7 +507,7 @@ let counter_invariant ~k a b =
   let n = Structure.size a and m = Structure.size b in
   if n = 0 || m = 0 then true
   else
-    match Encoding.create ~n ~m ~k with
+    match Encoding.create ~n ~m ~k () with
     | None -> true
     | Some enc ->
       let _, _, _, ok = run_counting ~verify:true ~budget:Budget.unlimited ~k enc a b in
@@ -655,7 +699,7 @@ let run_traced ?(budget = Budget.unlimited) ?(engine = `Counting) ~k a b =
     match engine with
     | `Naive -> run_naive ~budget ~k a b
     | `Counting -> (
-      match Encoding.create ~n ~m ~k with
+      match Encoding.create ~budget ~n ~m ~k () with
       | Some enc ->
         let family, trace, stats, _ = run_counting ~budget ~k enc a b in
         (family, trace, stats)

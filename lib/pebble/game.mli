@@ -21,8 +21,9 @@ open Relational
       propagate through a worklist that decrements the counters of each
       dead configuration's restrictions and kills its extensions.  When
       the ranked code space would exceed a fixed capacity (about [2^26]
-      codes or counter slots) the call silently degrades to the list
-      engine, whose streaming allocation the budget governs.
+      codes, counter slots, or extension-table slots) the call silently
+      degrades to the list engine, whose streaming allocation the budget
+      governs; the layout pass itself ticks the budget per subset.
     - [`Naive] is the original sorted-assoc-list engine, kept verbatim as
       a differential reference ([Core.Selfcheck] replays both engines on
       every instance).
@@ -53,10 +54,13 @@ type engine = [ `Counting | `Naive ]
 module Encoding : sig
   type t
 
-  val create : n:int -> m:int -> k:int -> t option
-  (** [None] when the ranked space (codes or counter slots) would exceed
-      the fixed capacity.  @raise Invalid_argument when [n <= 0], [m <= 0]
-      or [k < 1]. *)
+  val create : ?budget:Budget.t -> n:int -> m:int -> k:int -> unit -> t option
+  (** [None] when the ranked space (codes, counter slots, or the n-sized
+      extension tables carried by every subset below size [k]) would
+      exceed the fixed capacity.  [budget] is ticked once per enumerated
+      subset, so oversized inputs abort with {!Budget.Exhausted} instead
+      of allocating unboundedly.  @raise Invalid_argument when [n <= 0],
+      [m <= 0] or [k < 1]. *)
 
   val configs : t -> int
   (** Total number of ranked codes. *)

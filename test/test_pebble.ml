@@ -130,7 +130,7 @@ let encoding_tests =
     Alcotest.test_case "rank/unrank round-trips every code" `Quick (fun () ->
         List.iter
           (fun (n, m, k) ->
-            match Game.Encoding.create ~n ~m ~k with
+            match Game.Encoding.create ~n ~m ~k () with
             | None -> Alcotest.failf "encoding (%d,%d,%d) over capacity" n m k
             | Some enc ->
               let total = Game.Encoding.configs enc in
@@ -165,7 +165,7 @@ let encoding_tests =
         in
         List.iter
           (fun (n, m, k) ->
-            match Game.Encoding.create ~n ~m ~k with
+            match Game.Encoding.create ~n ~m ~k () with
             | None -> Alcotest.failf "encoding (%d,%d,%d) over capacity" n m k
             | Some enc ->
               Alcotest.(check int)
@@ -174,13 +174,13 @@ let encoding_tests =
                 (Game.Encoding.configs enc))
           [ (1, 1, 1); (3, 2, 2); (4, 3, 3); (5, 2, 4); (6, 3, 2) ]);
     Alcotest.test_case "the empty configuration ranks to 0" `Quick (fun () ->
-        match Game.Encoding.create ~n:4 ~m:3 ~k:2 with
+        match Game.Encoding.create ~n:4 ~m:3 ~k:2 () with
         | None -> Alcotest.fail "encoding over capacity"
         | Some enc ->
           Alcotest.(check int) "rank []" 0 (Game.Encoding.rank enc []);
           check "unrank 0" true (Game.Encoding.unrank enc 0 = []));
     Alcotest.test_case "rank rejects malformed configurations" `Quick (fun () ->
-        match Game.Encoding.create ~n:3 ~m:2 ~k:2 with
+        match Game.Encoding.create ~n:3 ~m:2 ~k:2 () with
         | None -> Alcotest.fail "encoding over capacity"
         | Some enc ->
           check "unsorted domain" true
@@ -195,6 +195,14 @@ let encoding_tests =
           check "unrank out of range" true
             (raises_invalid (fun () ->
                  Game.Encoding.unrank enc (Game.Encoding.configs enc))));
+    Alcotest.test_case "create ticks the budget during layout" `Quick (fun () ->
+        (* 1 + 50 + C(50,2) subsets far exceed the 10-node allowance, so
+           the layout pass must abort instead of allocating it all. *)
+        let budget = Budget.create ~max_nodes:10 () in
+        check "exhausts" true
+          (match Game.Encoding.create ~budget ~n:50 ~m:2 ~k:2 () with
+          | _ -> false
+          | exception Budget.Exhausted _ -> true));
   ]
 
 let counter_tests =
@@ -227,6 +235,27 @@ let differential_tests =
         match Game.winning_family_with_trace ~engine:`Counting ~k:2 a b with
         | [], trace -> Certificate.check a b (Core.Certify.of_consistency ~trace b)
         | _ -> true);
+    Alcotest.test_case "nullary facts are enforced by both engines" `Quick (fun () ->
+        let voc = Vocabulary.create [ ("P", 0); ("E", 2) ] in
+        let a =
+          Structure.add_tuple
+            (Structure.add_tuple (Structure.create voc ~size:2) "P" [||])
+            "E" [| 0; 1 |]
+        in
+        let b = Structure.add_tuple (Structure.create voc ~size:2) "E" [| 0; 1 |] in
+        (* P() holds in A but not in B: no partial homomorphism exists, and
+           the counting engine's trace must replay through the checker. *)
+        let fc, trace = Game.winning_family_with_trace ~engine:`Counting ~k:2 a b in
+        let fn, _ = Game.winning_family_with_trace ~engine:`Naive ~k:2 a b in
+        check "counting family empty" true (fc = []);
+        check "naive family empty" true (fn = []);
+        check "trace replays" true
+          (Certificate.check a b (Core.Certify.of_consistency ~trace b));
+        (* With the fact present in B the engines agree on the full family. *)
+        let b = Structure.add_tuple b "P" [||] in
+        check "families agree when the fact holds" true (engines_agree ~k:2 (a, b));
+        check "family nonempty when the fact holds" true
+          (Game.winning_family ~engine:`Counting ~k:2 a b <> []));
     qtest ~count:60 "tight budgets: engines agree whenever both finish"
       (arbitrary_pair ~max_size_a:4 ~max_size_b:3 ~max_tuples:4 ())
       (fun (a, b) ->
