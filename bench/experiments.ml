@@ -1196,6 +1196,50 @@ let e16 () =
   let expo_yk = Util.fitted_exponent yk_series in
   Util.note "yannakakis time ~ (||A||*||B||)^e: e = %.2f." expo_yk;
   assert (expo_yk <= 1.35);
+  (* Deadline polling on the tick hot path: the strided clock turns the
+     per-256-ticks gettimeofday poll into a calibrated ~2ms cadence, so
+     real clock reads stay orders of magnitude below the tick count.
+     Measured with the telemetry timers; the scale-free guard metric is
+     the deadline-vs-unlimited per-tick cost ratio. *)
+  let ticks = 2_000_000 in
+  let tick_loop b = for _ = 1 to ticks do Budget.tick b done in
+  let sink, _drain = Telemetry.Sink.memory () in
+  Telemetry.reset ();
+  Telemetry.set_sink (Some sink);
+  let (), t_plain =
+    Util.time ~repeat:3 (fun () ->
+        Telemetry.time "budget.tick_unlimited" (fun () ->
+            tick_loop (Budget.create ())))
+  in
+  Budget.reset_clock_stats ();
+  let (), t_deadline =
+    Util.time ~repeat:3 (fun () ->
+        Telemetry.time "budget.tick_deadline" (fun () ->
+            tick_loop (Budget.create ~timeout:3600.0 ())))
+  in
+  let reads = Budget.clock_reads () in
+  let timers = Telemetry.timer_totals () in
+  Telemetry.set_sink None;
+  Telemetry.reset ();
+  let tick_ratio = t_deadline /. t_plain in
+  Util.note
+    "deadline polling: %.1f ns/tick unlimited, %.1f ns/tick with a deadline \
+     (%.2fx); %d clock reads for %d ticks (1 per %d)."
+    (t_plain *. 1e9 /. float_of_int ticks)
+    (t_deadline *. 1e9 /. float_of_int ticks)
+    tick_ratio reads (3 * ticks)
+    (3 * ticks / max 1 reads);
+  List.iter
+    (fun (name, (seconds, count)) ->
+      Util.note "telemetry timer %s: %s over %d runs." name (f2s seconds) count)
+    timers;
+  assert (reads < 3 * ticks / 64);
+  json :=
+    Printf.sprintf
+      "  {\"family\": \"deadline-polling\", \"size\": %d, \"plain_s\": %.6e,\n\
+      \   \"deadline_s\": %.6e, \"tick_ratio\": %.3f, \"clock_reads\": %d}"
+      ticks t_plain t_deadline tick_ratio reads
+    :: !json;
   append_perf_json (List.rev !json);
   Util.note
     "merged E16 rows into BENCH_perf.json (perf trajectory seed for the Thm \
@@ -1211,6 +1255,7 @@ let e16 () =
       ("dense_speedup_64", dense_speedup, true);
       ("dense_ac4_ns_per_unit", ns_per_unit series_ac4, false);
       ("yannakakis_ns_per_unit", ns_per_unit yk_series, false);
+      ("deadline_tick_overhead", tick_ratio, false);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -1373,9 +1418,157 @@ let e17 () =
       ("datalog_tc_ns_per_derived", ns_per_unit tc_series, false);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* E18 — telemetry overhead: disabled vs memory sink vs JSONL sink      *)
+(* ------------------------------------------------------------------ *)
+
+let e18 () =
+  Util.header "E18 Telemetry overhead: disabled vs memory sink vs JSONL sink";
+  let json = ref [] in
+  (* Fixed mixed workload touching every instrumented layer: the full
+     solver portfolio on an E16-style cascade (AC, treewidth, pebble,
+     Schaefer classification all fire), a Spoiler win of the k=3 pebble
+     game, and a semi-naive transitive closure.  The workload returns a
+     structural fingerprint — verdicts, per-route attempts with their
+     engine counters, family size, facts derived — that must be
+     bit-identical in all three telemetry modes (no observer effect). *)
+  let tc_program =
+    Datalog.Program.make ~goal:"T"
+      [
+        Datalog.Program.rule
+          (Datalog.Program.atom "T" [ "x"; "y" ])
+          [ Datalog.Program.atom "E" [ "x"; "y" ] ];
+        Datalog.Program.rule
+          (Datalog.Program.atom "T" [ "x"; "z" ])
+          [ Datalog.Program.atom "E" [ "x"; "y" ];
+            Datalog.Program.atom "T" [ "y"; "z" ] ];
+      ]
+  in
+  let workload () =
+    let r1 = Core.Solver.solve (Core.Workloads.path 48) (dense_floor 24) in
+    let family, _, _ =
+      Pebble.Game.run_traced ~k:3 (Core.Workloads.undirected_cycle 9)
+        Core.Workloads.k2
+    in
+    let arc =
+      let ctx =
+        Arc_consistency.create ~algorithm:`Ac4 (Core.Workloads.path 96)
+          (dense_floor 32)
+      in
+      Arc_consistency.establish ctx
+    in
+    let _, stats =
+      Datalog.Eval.fixpoint_with_stats tc_program (Core.Workloads.path 64)
+    in
+    ( Core.Solver.verdict_name r1.Core.Solver.verdict,
+      List.map
+        (fun (at : Core.Solver.attempt) ->
+          ( Core.Solver.route_name at.Core.Solver.route,
+            at.Core.Solver.nodes,
+            Core.Solver.outcome_name at.Core.Solver.outcome,
+            at.Core.Solver.counters ))
+        r1.Core.Solver.attempts,
+      List.length family,
+      arc,
+      stats.Datalog.Eval.derived )
+  in
+  let with_sink sink f =
+    Telemetry.reset ();
+    Telemetry.set_sink sink;
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.set_sink None;
+        Telemetry.reset ())
+      f
+  in
+  let repeat = 5 in
+  (* Mode 1: telemetry compiled in but disabled — every instrumentation
+     site is one [enabled]-branch.  This is the deployment default, so the
+     two ratios below bound what users pay for the hooks existing at all. *)
+  let v_off, t_off = with_sink None (fun () -> Util.time ~repeat workload) in
+  (* Mode 2: memory sink — records and counters accumulate in RAM; the
+     bench then consumes the very counters the engines emitted instead of
+     re-deriving its own operation counts. *)
+  let mem_sink, mem_drain = Telemetry.Sink.memory () in
+  let (v_mem, t_mem), totals =
+    with_sink (Some mem_sink) (fun () ->
+        let timed = Util.time ~repeat workload in
+        (* One clean run for per-run counter totals. *)
+        Telemetry.reset ();
+        ignore (workload ());
+        (timed, Telemetry.counter_totals ()))
+  in
+  let mem_records = List.length (mem_drain ()) in
+  (* Mode 3: JSONL sink — every record is rendered and written to disk. *)
+  let trace_path = Filename.temp_file "cqcsp-e18" ".jsonl" in
+  let oc = open_out trace_path in
+  let v_jsonl, t_jsonl =
+    with_sink
+      (Some (Telemetry.Sink.jsonl oc))
+      (fun () ->
+        let timed = Util.time ~repeat workload in
+        Telemetry.flush ();
+        timed)
+  in
+  close_out oc;
+  let trace_bytes =
+    let ic = open_in_bin trace_path in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
+  Sys.remove trace_path;
+  (* Observer-effect differential: verdicts, attempts (with counters),
+     pebble family and derived-fact counts agree across all modes. *)
+  assert (v_off = v_mem);
+  assert (v_off = v_jsonl);
+  let mem_ratio = t_mem /. t_off and jsonl_ratio = t_jsonl /. t_off in
+  Util.table
+    ~columns:[ "mode"; "median"; "ratio"; "emitted" ]
+    [
+      [ "disabled"; f2s t_off; "1.00x"; "-" ];
+      [ "memory"; f2s t_mem; Printf.sprintf "%.2fx" mem_ratio;
+        Printf.sprintf "%d records" mem_records ];
+      [ "jsonl"; f2s t_jsonl; Printf.sprintf "%.2fx" jsonl_ratio;
+        Printf.sprintf "%d bytes" trace_bytes ];
+    ];
+  Util.note
+    "telemetry overhead on the mixed workload: %.2fx memory-sinked, %.2fx \
+     JSONL-sinked (target < 1.05x; guarded < 2x of baseline)."
+    mem_ratio jsonl_ratio;
+  (* The same counters the engines emitted, consumed here as the bench's
+     operation counts (one clean run). *)
+  Util.table
+    ~columns:[ "counter"; "per-run" ]
+    (List.map (fun (name, n) -> [ name; int n ]) totals);
+  let total name =
+    match List.assoc_opt name totals with Some n -> n | None -> 0
+  in
+  assert (total "datalog.derived" >= 64 * 63 / 2);
+  assert (total "ac.support_builds" > 0);
+  assert (total "pebble.initial_configs" > 0);
+  json :=
+    Printf.sprintf
+      "  {\"family\": \"telemetry-overhead\", \"off_s\": %.6e, \"memory_s\": \
+       %.6e,\n\
+      \   \"jsonl_s\": %.6e, \"memory_ratio\": %.3f, \"jsonl_ratio\": %.3f,\n\
+      \   \"memory_records\": %d, \"jsonl_bytes\": %d, \"ac_kills\": %d,\n\
+      \   \"datalog_derived\": %d, \"pebble_supports_built\": %d}"
+      t_off t_mem t_jsonl mem_ratio jsonl_ratio mem_records trace_bytes
+      (total "ac.kills") (total "datalog.derived")
+      (total "pebble.supports_built")
+    :: !json;
+  append_perf_json (List.rev !json);
+  Util.note "merged E18 rows into BENCH_perf.json.";
+  perf_guard
+    [
+      ("telemetry_overhead", mem_ratio, false);
+      ("telemetry_jsonl_overhead", jsonl_ratio, false);
+    ]
+
 let all = [
   ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
   ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
   ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("ablations", ablations);
-  ("certify", certify); ("e16", e16); ("e17", e17);
+  ("certify", certify); ("e16", e16); ("e17", e17); ("e18", e18);
 ]

@@ -77,22 +77,113 @@ let budget_of ~max_nodes ~timeout =
   | None, None -> Core.Budget.unlimited
   | _ -> Core.Budget.create ?max_nodes ?timeout ()
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry flags                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_json_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "Collect telemetry (per-route spans, engine counters, timers) and \
+           write it as one JSON document to $(docv) on exit — also on error \
+           exits, so budget-exhausted runs still report the work they did.  \
+           Use '-' for stdout; human-oriented reports go to stderr, so \
+           stdout stays machine-parseable.")
+
+let trace_out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Stream telemetry records to $(docv) as they are emitted, one \
+           JSON object per line (JSONL).  Use '-' for stdout.")
+
+(* Assemble the memory sink's records into the one-document metrics
+   report: records grouped by type, already in emission order. *)
+let metrics_document ~command records =
+  let spans = Buffer.create 1024
+  and counters = Buffer.create 256
+  and timers = Buffer.create 256 in
+  let put buf r =
+    if Buffer.length buf > 0 then Buffer.add_char buf ',';
+    Buffer.add_string buf (Telemetry.json_of_record r)
+  in
+  List.iter
+    (fun r ->
+      match r with
+      | Telemetry.Span _ -> put spans r
+      | Telemetry.Counter _ -> put counters r
+      | Telemetry.Timer _ -> put timers r)
+    records;
+  Printf.sprintf
+    "{\"version\":1,\"command\":\"%s\",\"spans\":[%s],\"counters\":[%s],\"timers\":[%s]}\n"
+    command (Buffer.contents spans) (Buffer.contents counters)
+    (Buffer.contents timers)
+
+(* Install the sinks the flags ask for, run the command body, and — even
+   when it escapes with Budget.Exhausted or a structured error — flush
+   totals, write the metrics document, and close what we opened. *)
+let with_telemetry ~command ~metrics_json ~trace_out f =
+  match (metrics_json, trace_out) with
+  | None, None -> f ()
+  | _ ->
+    let opened = ref [] in
+    let channel path =
+      if path = "-" then stdout
+      else begin
+        let oc = open_out path in
+        opened := oc :: !opened;
+        oc
+      end
+    in
+    let trace_sink = Option.map (fun p -> Telemetry.Sink.jsonl (channel p)) trace_out in
+    let mem = Option.map (fun p -> (p, Telemetry.Sink.memory ())) metrics_json in
+    let sink =
+      match (trace_sink, mem) with
+      | Some t, Some (_, (m, _)) -> Telemetry.Sink.tee m t
+      | Some t, None -> t
+      | None, Some (_, (m, _)) -> m
+      | None, None -> assert false
+    in
+    Telemetry.reset ();
+    Telemetry.set_sink (Some sink);
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.flush ();
+        Telemetry.set_sink None;
+        Telemetry.reset ();
+        Option.iter
+          (fun (path, (_, drain)) ->
+            let oc = channel path in
+            output_string oc (metrics_document ~command (drain ()));
+            flush oc)
+          mem;
+        List.iter close_out !opened)
+      f
+
 let print_attempts attempts =
   List.iter
-    (fun { Core.Solver.route; nodes; outcome; detail } ->
+    (fun { Core.Solver.route; nodes; outcome; counters } ->
       let outcome =
         match outcome with
-        | Core.Solver.Decided -> "decided"
         | Core.Solver.Pruned -> "pruned domains"
         | Core.Solver.Exhausted reason ->
           "exhausted: " ^ Relational.Budget.reason_to_string reason
-        | Core.Solver.Inapplicable -> "inapplicable"
+        | (Core.Solver.Decided | Core.Solver.Inapplicable) as o ->
+          Core.Solver.outcome_name o
       in
-      Format.printf "  %-32s %8d nodes  %s@." (Core.Solver.route_name route) nodes
+      Format.eprintf "  %-32s %8d nodes  %s@." (Core.Solver.route_name route) nodes
         outcome;
-      match detail with
-      | Some d -> Format.printf "  %-32s %s@." "" d
-      | None -> ())
+      match counters with
+      | [] -> ()
+      | counters ->
+        Format.eprintf "  %-32s %s@." ""
+          (String.concat ", "
+             (List.map (fun (name, n) -> Printf.sprintf "%s %d" name n) counters)))
     attempts
 
 (* The exit code a three-valued verdict maps to: definite answers exit 0,
@@ -120,10 +211,10 @@ let certify_term =
    so a rejection here is a checker/solver disagreement: a bug, exit 5. *)
 let certify_against (s, t) r =
   match Core.Solver.certificate r with
-  | None -> Format.printf "certificate: none (verdict is unknown)@."
+  | None -> Format.eprintf "certificate: none (verdict is unknown)@."
   | Some c ->
     if Certificate.check s t c then
-      Format.printf "certificate: %s, accepted by the checker@."
+      Format.eprintf "certificate: %s, accepted by the checker@."
         (Certificate.describe c)
     else
       Core.Error.internal "the checker rejected the %s certificate of route %s"
@@ -147,8 +238,9 @@ let exits =
 
 (* ------------------------------------------------------------------ *)
 
-let contain max_nodes timeout certify q1 q2 =
+let contain max_nodes timeout certify metrics_json trace_out q1 q2 =
   run (fun () ->
+      with_telemetry ~command:"contain" ~metrics_json ~trace_out @@ fun () ->
       let q1 = parse_query q1 and q2 = parse_query q2 in
       let budget = budget_of ~max_nodes ~timeout in
       let r = Core.Solver.solve_containment ~budget q1 q2 in
@@ -180,6 +272,7 @@ let contain_cmd =
     (Cmd.info "contain" ~exits ~doc:"Decide conjunctive-query containment Q1 <= Q2")
     Term.(
       const contain $ max_nodes_term $ timeout_term $ certify_term
+      $ metrics_json_term $ trace_out_term
       $ query_arg ~docv:"Q1" 0 $ query_arg ~docv:"Q2" 1)
 
 let minimize q =
@@ -230,8 +323,9 @@ let evaluate_cmd =
     (Cmd.info "evaluate" ~exits ~doc:"Evaluate a conjunctive query on a structure")
     Term.(const evaluate $ engine $ query_arg ~docv:"Q" 0 $ structure_arg ~docv:"DB" 1)
 
-let solve max_nodes timeout certify a b =
+let solve max_nodes timeout certify metrics_json trace_out a b =
   run (fun () ->
+      with_telemetry ~command:"solve" ~metrics_json ~trace_out @@ fun () ->
       let a = read_structure a and b = read_structure b in
       let budget = budget_of ~max_nodes ~timeout in
       let r = Core.Solver.solve ~budget a b in
@@ -254,6 +348,7 @@ let solve_cmd =
        ~doc:"Decide the existence of a homomorphism SOURCE -> TARGET (CSP)")
     Term.(
       const solve $ max_nodes_term $ timeout_term $ certify_term
+      $ metrics_json_term $ trace_out_term
       $ structure_arg ~docv:"SOURCE" 0 $ structure_arg ~docv:"TARGET" 1)
 
 let classify b =
@@ -417,8 +512,9 @@ let check_cmd =
        ~doc:"Evaluate a first-order formula on a structure (bounded-variable model checking)")
     Term.(const fo_check $ f $ structure_arg ~docv:"STRUCTURE" 1)
 
-let selfcheck count seed max_nodes =
+let selfcheck count seed max_nodes metrics_json trace_out =
   run (fun () ->
+      with_telemetry ~command:"selfcheck" ~metrics_json ~trace_out @@ fun () ->
       if count < 0 then Core.Error.bad_input "--count must be nonnegative";
       if max_nodes < 1 then Core.Error.bad_input "--max-nodes must be positive";
       let report = Core.Selfcheck.run ~max_nodes ~count ~seed () in
@@ -474,7 +570,7 @@ let selfcheck_cmd =
               is a bug in this code base: the command reports each offending \
               seed and exits 5.";
          ])
-    Term.(const selfcheck $ count $ seed $ max_nodes)
+    Term.(const selfcheck $ count $ seed $ max_nodes $ metrics_json_term $ trace_out_term)
 
 let main =
   let doc = "conjunctive-query containment and constraint satisfaction" in

@@ -23,6 +23,13 @@ let of_exn = function
   | Datalog.Parser.Parse_error msg -> Some (Bad_input ("bad program: " ^ msg))
   | Folog.Fo_parser.Parse_error msg -> Some (Bad_input ("bad formula: " ^ msg))
   | Relational.Budget.Exhausted reason -> Some (Budget_exhausted reason)
+  | Schaefer.Booleanize.Decode_rejected { bits; source_size; target_size; clamped; _ } ->
+    Some
+      (Internal
+         (Printf.sprintf
+            "booleanized decode rejected: the decoded mapping (%d-bit encoding, \
+             |A| = %d, |B| = %d, %d clamped code%s) is not a homomorphism"
+            bits source_size target_size clamped (if clamped = 1 then "" else "s")))
   | Invalid_argument msg -> Some (Bad_input msg)
   | Sys_error msg -> Some (Bad_input msg)
   | Failure msg -> Some (Internal msg)

@@ -307,11 +307,13 @@ let containment_check ~max_nodes seed =
     ([ { seed; what = "containment: " ^ Error.to_string e } ], false)
 
 let run ?(max_nodes = 50_000) ?(count = 500) ?(seed = 0) () =
+  Telemetry.with_span "selfcheck.run" @@ fun () ->
   let instances = ref 0 and checked = ref 0 and skipped = ref 0 in
   let issues = ref [] in
   for i = 0 to count - 1 do
     let s = seed + i in
     incr instances;
+    Telemetry.count "selfcheck.instances" 1;
     let found, decided =
       match
         if s mod 7 = 6 then containment_check ~max_nodes s
@@ -324,6 +326,8 @@ let run ?(max_nodes = 50_000) ?(count = 500) ?(seed = 0) () =
         ( [ { seed = s; what = "unexpected exception: " ^ Printexc.to_string e } ],
           false )
     in
+    Telemetry.count (if decided then "selfcheck.decided" else "selfcheck.skipped") 1;
+    Telemetry.count "selfcheck.issues" (List.length found);
     if decided then incr checked else incr skipped;
     issues := !issues @ found
   done;

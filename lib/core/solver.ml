@@ -30,11 +30,18 @@ type attempt_outcome =
   | Exhausted of Budget.exhausted_reason
   | Inapplicable
 
+let outcome_name = function
+  | Decided -> "decided"
+  | Pruned -> "pruned"
+  | Exhausted reason ->
+    Printf.sprintf "exhausted(%s)" (Budget.reason_to_string reason)
+  | Inapplicable -> "inapplicable"
+
 type attempt = {
   route : route;
   nodes : int;
   outcome : attempt_outcome;
-  detail : string option;
+  counters : (string * int) list;
 }
 
 type result = { verdict : verdict; route : route; attempts : attempt list }
@@ -65,10 +72,32 @@ type route_answer =
 let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
     ?(budget = Budget.unlimited) a b =
   let attempts = ref [] in
-  let record ?detail route nodes outcome =
-    attempts := { route; nodes; outcome; detail } :: !attempts
+  let solve_span = Telemetry.begin_span "solver.solve" in
+  (* Close the per-attempt span (when one is open) with the attempt's
+     identity as fields, so each emitted span record carries the route,
+     its node consumption, its outcome, and the counter increments the
+     engines performed on its behalf. *)
+  let record ?(counters = []) span route nodes outcome =
+    ignore
+      (Telemetry.end_span span
+         ~fields:
+           [
+             ("route", Telemetry.String (route_name route));
+             ("nodes", Telemetry.Int nodes);
+             ("outcome", Telemetry.String (outcome_name outcome));
+           ]);
+    attempts := { route; nodes; outcome; counters } :: !attempts
   in
-  let finish verdict route = { verdict; route; attempts = List.rev !attempts } in
+  let finish verdict route =
+    ignore
+      (Telemetry.end_span solve_span
+         ~fields:
+           [
+             ("verdict", Telemetry.String (verdict_name verdict));
+             ("route", Telemetry.String (route_name route));
+           ]);
+    { verdict; route; attempts = List.rev !attempts }
+  in
   (* Domain pruning inherited from a non-refuting k-consistency pass. *)
   let restriction = ref None in
   (* One intermediate route's share of the remaining node allowance;
@@ -86,14 +115,15 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
      fails loudly. *)
   let attempt ?frac route f =
     let s = match frac with None -> Budget.slice budget () | Some k -> slice_for k in
+    let sp = Telemetry.begin_span "solver.attempt" in
     match f s with
     | Some (Found h) ->
-      record route (Budget.spent s) Decided;
+      record sp route (Budget.spent s) Decided;
       Some (finish (Sat h) route)
     | Some (Refuted build) -> (
       match build s with
       | Some cert ->
-        record route (Budget.spent s) Decided;
+        record sp route (Budget.spent s) Decided;
         Some (finish (Unsat cert) route)
       | None ->
         Error.internal
@@ -101,13 +131,13 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
            (cross-route disagreement)"
           (route_name route)
       | exception Budget.Exhausted reason ->
-        record route (Budget.spent s) (Exhausted reason);
+        record sp route (Budget.spent s) (Exhausted reason);
         None)
     | None ->
-      record route (Budget.spent s) Inapplicable;
+      record sp route (Budget.spent s) Inapplicable;
       None
     | exception Budget.Exhausted reason ->
-      record route (Budget.spent s) (Exhausted reason);
+      record sp route (Budget.spent s) (Exhausted reason);
       None
   in
 
@@ -151,7 +181,6 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
         attempt (Booleanized (classify ())) (fun _ ->
             Some (Refuted (fun s -> Certify.of_booleanized ~budget:s a b)))
       | Schaefer.Booleanize.Not_schaefer _ -> None
-      | exception Invalid_argument _ -> None
   in
   let try_acyclic () =
     if Treewidth.Hypergraph.is_acyclic a then
@@ -173,22 +202,29 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
             | Some h -> Some (Found h)
             | None -> Some (Refuted (fun _ -> Certify.of_treewidth td a b)))
     | exception Budget.Exhausted reason ->
-      record (Bounded_treewidth max_treewidth) 0 (Exhausted reason);
+      record None (Bounded_treewidth max_treewidth) 0 (Exhausted reason);
       None
   in
   let try_consistency () =
     let route = Consistency_refutation consistency_k in
     let s = slice_for 4 in
-    let engine_detail (st : Pebble.Game.stats) =
-      Some
-        (Printf.sprintf
-           "configs ranked %d, supports built %d, deaths propagated %d"
-           st.Pebble.Game.configs_ranked st.Pebble.Game.supports_built
-           st.Pebble.Game.deaths_propagated)
+    let sp = Telemetry.begin_span "solver.attempt" in
+    (* The engine's own stats, as structured counters on the attempt.
+       Deliberately derived from the returned stats rather than from
+       telemetry, so attempts are identical whether or not a sink is
+       installed (no observer effect). *)
+    let engine_counters (st : Pebble.Game.stats) =
+      [
+        ("pebble.configs_ranked", st.Pebble.Game.configs_ranked);
+        ("pebble.deaths_propagated", st.Pebble.Game.deaths_propagated);
+        ("pebble.initial_configs", st.Pebble.Game.initial_configs);
+        ("pebble.removed", st.Pebble.Game.removed);
+        ("pebble.supports_built", st.Pebble.Game.supports_built);
+      ]
     in
     match Pebble.Game.run_traced ~budget:s ~k:consistency_k a b with
     | [], trace, stats ->
-      record ?detail:(engine_detail stats) route (Budget.spent s) Decided;
+      record ~counters:(engine_counters stats) sp route (Budget.spent s) Decided;
       Some (finish (Unsat (Certify.of_consistency ~trace b)) route)
     | family, _, stats ->
       (* Sound pruning: a pair [(x, v)] whose singleton configuration was
@@ -200,14 +236,15 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
           match cfg with [ (x, v) ] -> Hashtbl.replace singles (x, v) () | _ -> ())
         family;
       restriction := Some (fun x v -> Hashtbl.mem singles (x, v));
-      record ?detail:(engine_detail stats) route (Budget.spent s) Pruned;
+      record ~counters:(engine_counters stats) sp route (Budget.spent s) Pruned;
       None
     | exception Budget.Exhausted reason ->
-      record route (Budget.spent s) (Exhausted reason);
+      record sp route (Budget.spent s) (Exhausted reason);
       None
   in
   let backtracking () =
     let s = Budget.slice budget () in
+    let sp = Telemetry.begin_span "solver.attempt" in
     let global reason =
       (* Prefer the global cause (deadline/cancellation) when the whole
          portfolio is spent. *)
@@ -215,7 +252,7 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
     in
     match Homomorphism.decide ?restrict:!restriction ~budget:s a b with
     | Budget.Sat h ->
-      record Backtracking (Budget.spent s) Decided;
+      record sp Backtracking (Budget.spent s) Decided;
       finish (Sat h) Backtracking
     | Budget.Unsat -> (
       (* Certify with an independent exhaustive search under what remains
@@ -223,17 +260,17 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
          certifying search disagree. *)
       match Certify.of_backtracking ~budget:s a b with
       | Some cert ->
-        record Backtracking (Budget.spent s) Decided;
+        record sp Backtracking (Budget.spent s) Decided;
         finish (Unsat cert) Backtracking
       | None ->
         Error.internal
           "backtracking refuted the instance but the certifying search found \
            a homomorphism (cross-route disagreement)"
       | exception Budget.Exhausted reason ->
-        record Backtracking (Budget.spent s) (Exhausted reason);
+        record sp Backtracking (Budget.spent s) (Exhausted reason);
         finish (Unknown (global reason)) Backtracking)
     | Budget.Unknown reason ->
-      record Backtracking (Budget.spent s) (Exhausted reason);
+      record sp Backtracking (Budget.spent s) (Exhausted reason);
       finish (Unknown (global reason)) Backtracking
   in
   let ( <|> ) r f = match r with Some _ -> r | None -> f () in

@@ -77,14 +77,21 @@ type attempt_outcome =
       (** The route ran out of its budget slice and was skipped. *)
   | Inapplicable  (** The route recognized the instance is outside it. *)
 
+val outcome_name : attempt_outcome -> string
+(** ["decided"], ["pruned"], ["exhausted(<reason>)"] or ["inapplicable"]. *)
+
 type attempt = {
   route : route;
   nodes : int;  (** Budget ticks this route consumed. *)
   outcome : attempt_outcome;
-  detail : string option;
-      (** Route-specific counters, when the route reports any: the
-          k-consistency pass reports the counting engine's configs ranked,
-          supports built and deaths propagated. *)
+  counters : (string * int) list;
+      (** Route-specific engine counters, sorted by name, when the route
+          reports any: the k-consistency pass reports the counting
+          engine's configs ranked, supports built, deaths propagated, and
+          so on (names follow the telemetry scheme, DESIGN.md section 12).
+          Derived from the engines' own returned stats — not from the
+          telemetry sink — so attempts are bit-identical whether telemetry
+          is enabled or not. *)
 }
 
 type result = {

@@ -42,6 +42,7 @@ let compile_rule (r : Program.rule) =
    optionally designates one body-atom index whose relation is replaced,
    to implement semi-naive evaluation.  Returns the derived head tuples. *)
 let eval_rule ~universe ~facts ?delta cr =
+  Telemetry.count "datalog.rule_firings" 1;
   let subst = Array.make (max 1 cr.nvars) (-1) in
   let out = ref [] in
   let head_positions = cr.head_positions in
@@ -83,9 +84,14 @@ let eval_rule ~universe ~facts ?delta cr =
            positions
        with Exit -> ());
       let candidates =
-        if !probe >= 0 then
+        if !probe >= 0 then begin
+          Telemetry.count "datalog.index_probes" 1;
           Relation.matching rel ~pos:!probe ~value:subst.(positions.(!probe))
-        else Relation.tuples_array rel
+        end
+        else begin
+          Telemetry.count "datalog.relation_scans" 1;
+          Relation.tuples_array rel
+        end
       in
       Array.iter
         (fun t ->
@@ -193,6 +199,8 @@ let fixpoint_with_stats ?(strategy = Seminaive) p structure =
       Hashtbl.reset deltas;
       Hashtbl.iter (fun name d -> Hashtbl.replace deltas name d) new_deltas
     done);
+  Telemetry.count "datalog.rounds" !rounds;
+  Telemetry.count "datalog.derived" !derived;
   ( List.map (fun name -> (name, Hashtbl.find tables name)) idbs,
     { rounds = !rounds; derived = !derived } )
 

@@ -689,21 +689,36 @@ let empty_stats ~initial_configs =
     deaths_propagated = 0;
   }
 
+(* Publish one engine run's stats as telemetry counters, so a dispatcher
+   span over the k-consistency route carries the engine work. *)
+let publish_stats st =
+  if Telemetry.enabled () then begin
+    Telemetry.count "pebble.initial_configs" st.initial_configs;
+    Telemetry.count "pebble.removed" st.removed;
+    Telemetry.count "pebble.configs_ranked" st.configs_ranked;
+    Telemetry.count "pebble.supports_built" st.supports_built;
+    Telemetry.count "pebble.deaths_propagated" st.deaths_propagated
+  end
+
 let run_traced ?(budget = Budget.unlimited) ?(engine = `Counting) ~k a b =
   if k < 1 then invalid_arg "Game: k must be positive";
   Budget.check budget;
   let n = Structure.size a and m = Structure.size b in
-  if n = 0 then ([ [] ], [], empty_stats ~initial_configs:1)
-  else if m = 0 then ([], [], empty_stats ~initial_configs:0)
-  else
-    match engine with
-    | `Naive -> run_naive ~budget ~k a b
-    | `Counting -> (
-      match Encoding.create ~budget ~n ~m ~k () with
-      | Some enc ->
-        let family, trace, stats, _ = run_counting ~budget ~k enc a b in
-        (family, trace, stats)
-      | None -> run_naive ~budget ~k a b)
+  let family, trace, stats =
+    if n = 0 then ([ [] ], [], empty_stats ~initial_configs:1)
+    else if m = 0 then ([], [], empty_stats ~initial_configs:0)
+    else
+      match engine with
+      | `Naive -> run_naive ~budget ~k a b
+      | `Counting -> (
+        match Encoding.create ~budget ~n ~m ~k () with
+        | Some enc ->
+          let family, trace, stats, _ = run_counting ~budget ~k enc a b in
+          (family, trace, stats)
+        | None -> run_naive ~budget ~k a b)
+  in
+  publish_stats stats;
+  (family, trace, stats)
 
 let run ?budget ?engine ~k a b =
   let family, _, stats = run_traced ?budget ?engine ~k a b in

@@ -209,6 +209,7 @@ let remove_value ctx x v =
     ctx.dom.(x).(v) <- false;
     ctx.count.(x) <- ctx.count.(x) - 1;
     ctx.removals <- ctx.removals + 1;
+    Telemetry.count "ac.kills" 1;
     Stack.push (x, v) ctx.trail;
     (match ctx.algorithm with
     | `Naive -> schedule ctx x
@@ -269,6 +270,7 @@ let propagate_naive ctx =
    are subsumed by the scan (the queue is cleared first), so stale candidates
    from before a deep pop cannot resurface. *)
 let ensure_supports ctx =
+  Telemetry.count "ac.support_builds" 1;
   Queue.clear ctx.pending_vals;
   Array.iter
     (fun c ->
@@ -325,6 +327,7 @@ let propagate_ac4 ctx =
   end
 
 let propagate ctx =
+  Telemetry.count "ac.propagations" 1;
   match ctx.algorithm with `Naive -> propagate_naive ctx | `Ac4 -> propagate_ac4 ctx
 
 let establish ctx =
@@ -362,7 +365,10 @@ let pop ctx =
       ctx.dom.(x).(v) <- true;
       ctx.count.(x) <- ctx.count.(x) + 1;
       if ctx.supports_ready then
-        if depth >= ctx.init_depth then revive_supports ctx x v
+        if depth >= ctx.init_depth then begin
+          Telemetry.count "ac.revives" 1;
+          revive_supports ctx x v
+        end
         else
           (* This entry predates the support build, so its effects were never
              counted; the counters can no longer be trusted and must be

@@ -59,7 +59,71 @@ let remaining_nodes t =
 
 let cancelled t = match t.cancel with Some flag -> !flag | None -> false
 
-let past_deadline t = t.deadline < infinity && Unix.gettimeofday () > t.deadline
+(* --- Strided clock -----------------------------------------------------
+
+   [Unix.gettimeofday] is a few hundred nanoseconds of vtime per call; on
+   propagation hot paths ticked per-tuple that used to dominate the
+   deadline poll.  The tick path therefore reads a process-wide cached
+   clock that performs a real read only every [stride] probes, where
+   [stride] self-calibrates so that consecutive real reads are about
+   [target_stride_s] of wall clock apart.  The cached value is always
+   [<=] the real time, so a deadline can fire late by at most one stride
+   (~2ms, far under the documented 10ms slack) but never early.
+
+   The cache is shared by all budgets: it is just a clock. *)
+
+let target_stride_s = 0.002
+let max_stride = 16384
+let stride = ref 1
+let probes_left = ref 0
+let cached_now = ref neg_infinity
+let last_real_read = ref neg_infinity
+let real_reads = ref 0
+
+let clock_reads () = !real_reads
+
+let reset_clock_stats () =
+  real_reads := 0;
+  stride := 1;
+  probes_left := 0;
+  cached_now := neg_infinity;
+  last_real_read := neg_infinity
+
+let read_clock () =
+  let now = Unix.gettimeofday () in
+  incr real_reads;
+  (* Recalibrate: during the stride just consumed we made [!stride]
+     probes over [now - last] seconds; scale toward [target_stride_s]
+     per stride, growing at most 4x per step so one long pause between
+     probes cannot blow the stride up past what the probe rate supports. *)
+  let elapsed = now -. !last_real_read in
+  if !last_real_read > neg_infinity && elapsed > 0. then begin
+    let ideal = float_of_int !stride *. target_stride_s /. elapsed in
+    let next = int_of_float (Float.min ideal (float_of_int (!stride * 4))) in
+    stride := max 1 (min max_stride next)
+  end;
+  last_real_read := now;
+  cached_now := now;
+  probes_left := !stride;
+  now
+
+let strided_now () =
+  if !probes_left <= 0 then read_clock ()
+  else begin
+    decr probes_left;
+    !cached_now
+  end
+
+let exact_now () =
+  let now = Unix.gettimeofday () in
+  incr real_reads;
+  (* Refresh the cache for free: an exact read is also a real read. *)
+  cached_now := now;
+  now
+
+let past_deadline t = t.deadline < infinity && exact_now () > t.deadline
+
+let past_deadline_strided t = t.deadline < infinity && strided_now () > t.deadline
 
 let rec status t =
   if cancelled t then Some Cancelled
@@ -82,7 +146,7 @@ let rec tick t =
   end;
   if t.nodes land poll_mask = 0 then begin
     if cancelled t then raise (Exhausted Cancelled);
-    if past_deadline t then raise (Exhausted Deadline)
+    if past_deadline_strided t then raise (Exhausted Deadline)
   end;
   match t.parent with Some p -> tick p | None -> ()
 

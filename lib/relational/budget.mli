@@ -67,10 +67,26 @@ val check : t -> unit
     @raise Exhausted when any limit is hit.  Call at phase boundaries. *)
 
 val tick : t -> unit
-(** Consume one node of the allowance, then check cheaply (the clock and
-    the cancellation flag are only polled every 256 ticks).
+(** Consume one node of the allowance, then check cheaply: the
+    cancellation flag is polled every 256 ticks and the deadline is
+    probed against a strided clock — a process-wide cache of
+    [Unix.gettimeofday] that performs a real read only every N probes,
+    with N self-calibrated so consecutive real reads are ~2ms apart.
+    The cached time is always [<=] real time, so a deadline can fire at
+    most one stride (well under 10ms) late but never early.  {!check}
+    and {!status} still read the clock exactly.
     @raise Exhausted when a limit is hit.  Call once per unit of work in
     inner loops. *)
+
+val clock_reads : unit -> int
+(** Number of real [Unix.gettimeofday] calls made by deadline probes
+    (strided and exact) since start-up or {!reset_clock_stats}.  For
+    tests and bench experiments demonstrating the strided clock: compare
+    against ticks consumed to see the syscall reduction. *)
+
+val reset_clock_stats : unit -> unit
+(** Reset {!clock_reads} to zero and drop the strided-clock cache and
+    calibration, forcing the next probe to perform a real read. *)
 
 val slice : t -> ?max_nodes:int -> ?timeout:float -> unit -> t
 (** [slice parent ?max_nodes ?timeout ()] is a child budget for one phase

@@ -33,14 +33,45 @@ let encode_pair a b =
   let bits = bits_needed (Structure.size b) in
   (encode_source ~bits a, encode_target b)
 
-let decode ~bits ~target hb =
+let decode_counting ~bits ~target hb =
   let n = Array.length hb / bits in
-  Array.init n (fun x ->
-      let v = ref 0 in
-      for j = 0 to bits - 1 do
-        v := !v lor (hb.((x * bits) + j) lsl j)
-      done;
-      if !v < Structure.size target then !v else 0)
+  let clamped = ref 0 in
+  let h =
+    Array.init n (fun x ->
+        let v = ref 0 in
+        for j = 0 to bits - 1 do
+          v := !v lor (hb.((x * bits) + j) lsl j)
+        done;
+        if !v < Structure.size target then !v
+        else begin
+          incr clamped;
+          0
+        end)
+  in
+  Telemetry.count "schaefer.booleanize.clamped" !clamped;
+  (h, !clamped)
+
+let decode ~bits ~target hb = fst (decode_counting ~bits ~target hb)
+
+type decode_context = {
+  bits : int;
+  source_size : int;
+  target_size : int;
+  clamped : int;
+  mapping : Homomorphism.mapping;
+}
+
+exception Decode_rejected of decode_context
+
+let () =
+  Printexc.register_printer (function
+    | Decode_rejected { bits; source_size; target_size; clamped; _ } ->
+      Some
+        (Printf.sprintf
+           "Booleanize.Decode_rejected { bits = %d; source_size = %d; \
+            target_size = %d; clamped = %d }"
+           bits source_size target_size clamped)
+    | _ -> None)
 
 type outcome =
   | Hom of Homomorphism.mapping
@@ -54,10 +85,18 @@ let solve a b =
     let ab, bb = encode_pair a b in
     match Uniform.solve_direct ab bb with
     | Uniform.Hom hb ->
-      let h = decode ~bits ~target:b hb in
+      let h, clamped = decode_counting ~bits ~target:b hb in
       if Homomorphism.is_homomorphism a b h then Hom h
       else
-        invalid_arg "Booleanize.solve: decoded mapping is not a homomorphism"
+        raise
+          (Decode_rejected
+             {
+               bits;
+               source_size = Structure.size a;
+               target_size = Structure.size b;
+               clamped;
+               mapping = h;
+             })
     | Uniform.No_hom -> No_hom
     | Uniform.Not_applicable _ -> Not_schaefer bb
   end

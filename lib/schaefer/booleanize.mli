@@ -26,6 +26,27 @@ val decode : bits:int -> target:Structure.t -> Homomorphism.mapping -> Homomorph
     decoded pattern falls outside [B]'s universe are unconstrained in [A]
     and are sent to element [0]. *)
 
+val decode_counting :
+  bits:int -> target:Structure.t -> Homomorphism.mapping -> Homomorphism.mapping * int
+(** Like {!decode}, also returning how many elements were clamped to [0]
+    because their decoded code fell outside [B]'s universe.  Bumps the
+    ["schaefer.booleanize.clamped"] telemetry counter. *)
+
+type decode_context = {
+  bits : int;  (** Bit width of the encoding. *)
+  source_size : int;  (** [|A|]. *)
+  target_size : int;  (** [|B|]. *)
+  clamped : int;  (** Elements whose code was out of range and clamped. *)
+  mapping : Homomorphism.mapping;  (** The rejected decoded mapping. *)
+}
+
+exception Decode_rejected of decode_context
+(** The Boolean solver produced a satisfying assignment whose decoding is
+    not a homomorphism [A -> B].  This is an internal invariant violation
+    (Lemma 3.5 guarantees round-tripping), surfaced as a typed exception
+    so [Core.Error] can classify it into the documented exit-code
+    taxonomy instead of letting a bare [Invalid_argument] escape. *)
+
 type outcome =
   | Hom of Homomorphism.mapping
   | No_hom
@@ -34,4 +55,6 @@ type outcome =
           Schaefer's tractable classes. *)
 
 val solve : Structure.t -> Structure.t -> outcome
-(** Booleanize, classify, solve with {!Uniform.solve_direct}, decode. *)
+(** Booleanize, classify, solve with {!Uniform.solve_direct}, decode.
+    @raise Decode_rejected when the decoded mapping fails
+    [Homomorphism.is_homomorphism] — an internal invariant violation. *)

@@ -43,8 +43,11 @@ let class_cache : (int * int list, schaefer_class list) Hashtbl.t =
 let relation_classes r =
   let key = (Boolean_relation.arity r, Boolean_relation.masks r) in
   match Hashtbl.find_opt class_cache key with
-  | Some classes -> classes
+  | Some classes ->
+    Telemetry.count "schaefer.class_cache_hits" 1;
+    classes
   | None ->
+    Telemetry.count "schaefer.class_cache_misses" 1;
     let classes = List.filter (closure_test r) all_classes in
     if Hashtbl.length class_cache >= cache_capacity then
       Hashtbl.reset class_cache;

@@ -12,6 +12,7 @@ let solve formula =
   let set_true v =
     if not value.(v) then begin
       value.(v) <- true;
+      Telemetry.count "schaefer.unit_propagations" 1;
       Queue.add v queue
     end
   in

@@ -133,6 +133,7 @@ let solve_horn_direct ?(budget = Budget.unlimited) a b =
   let set x =
     if not one.(x) then begin
       one.(x) <- true;
+      Telemetry.count "schaefer.unit_propagations" 1;
       Queue.add x queue
     end
   in
@@ -205,6 +206,7 @@ let solve_bijunctive_direct ?(budget = Budget.unlimited) a b =
   let set x v =
     if value.(x) = -1 then begin
       value.(x) <- v;
+      Telemetry.count "schaefer.unit_propagations" 1;
       Stack.push x trail;
       Queue.add x queue
     end

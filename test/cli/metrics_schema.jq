@@ -1,0 +1,40 @@
+# Schema for the `cqc --metrics-json` document, enforced in CI with
+#   jq -e -f test/cli/metrics_schema.jq metrics.json
+# (-e exits nonzero unless the filter yields true).  Field types follow
+# Telemetry.json_of_record; DESIGN.md section 12 documents the model.
+
+.version == 1
+and (.command | type == "string")
+and (.spans | type == "array")
+and ([.spans[]
+      | .type == "span"
+        and (.name | type == "string")
+        and (.elapsed_s | type == "number")
+        and (.fields | type == "object")
+        and (.counters | type == "object")
+        and ([.counters[] | type == "number"] | all)]
+     | all)
+# Every attempt span carries the dispatcher's structured identity.
+and ([.spans[] | select(.name == "solver.attempt")
+      | (.fields.route | type == "string")
+        and (.fields.nodes | type == "number")
+        and (.fields.outcome | type == "string")]
+     | all)
+# At most one top-level solve span per solve/contain run (selfcheck
+# replays the solver once per generated instance).
+and (if .command == "selfcheck" then true
+     else [.spans[] | select(.name == "solver.solve")] | length <= 1
+     end)
+and (.counters | type == "array")
+and ([.counters[]
+      | .type == "counter"
+        and (.name | type == "string")
+        and (.total | type == "number")]
+     | all)
+and (.timers | type == "array")
+and ([.timers[]
+      | .type == "timer"
+        and (.name | type == "string")
+        and (.seconds | type == "number")
+        and (.count | type == "number")]
+     | all)

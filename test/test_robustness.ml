@@ -89,6 +89,39 @@ let budget_tests =
         cancel := true;
         check "child sees it" true
           (raises_exhausted Budget.Cancelled (fun () -> Budget.check child)));
+    Alcotest.test_case "tick's strided clock coalesces gettimeofday calls"
+      `Quick (fun () ->
+        Budget.reset_clock_stats ();
+        let b = Budget.create ~timeout:3600.0 () in
+        let n = 200_000 in
+        for _ = 1 to n do
+          Budget.tick b
+        done;
+        let reads = Budget.clock_reads () in
+        (* Every 256th tick probes the deadline; the self-calibrating
+           stride must answer almost all probes from the cache. *)
+        check "far fewer reads than probes" true (reads < n / 256 / 4);
+        check "but the clock was consulted" true (reads > 0));
+    Alcotest.test_case "the deadline still fires under the strided clock"
+      `Quick (fun () ->
+        Budget.reset_clock_stats ();
+        let b = Budget.create ~timeout:0.05 () in
+        let fired = ref false in
+        (try
+           (* Bounded backstop; the deadline aborts this loop long before
+              the bound (stride staleness only delays it by ~2ms). *)
+           for _ = 1 to 500_000_000 do
+             Budget.tick b
+           done
+         with Budget.Exhausted Budget.Deadline -> fired := true);
+        check "deadline fired" true !fired);
+    Alcotest.test_case "check and status read the clock exactly" `Quick
+      (fun () ->
+        Budget.reset_clock_stats ();
+        check_int "fresh stats" 0 (Budget.clock_reads ());
+        let b = Budget.create ~timeout:3600.0 () in
+        Budget.check b;
+        check "check consulted the real clock" true (Budget.clock_reads () >= 1));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -429,6 +462,37 @@ let taxonomy_tests =
           | Some (Error.Internal _) -> true
           | _ -> false);
         check "foreign exceptions pass through" true (Error.of_exn Exit = None));
+    Alcotest.test_case "rejected booleanized decode is Internal with context"
+      `Quick (fun () ->
+        (* A decoded mapping that fails the homomorphism check is a
+           violated invariant of Lemma 3.5, not the user's fault: the
+           typed exception must classify as Internal (exit 5) and carry
+           the booleanized-instance context, instead of the bare
+           Invalid_argument (exit 2) it used to escape as. *)
+        let exn =
+          Schaefer.Booleanize.Decode_rejected
+            {
+              Schaefer.Booleanize.bits = 2;
+              source_size = 3;
+              target_size = 3;
+              clamped = 1;
+              mapping = [| 0; 0; 0 |];
+            }
+        in
+        match Error.of_exn exn with
+        | Some (Error.Internal msg as e) ->
+          check_int "exit code" 5 (Error.exit_code e);
+          let contains needle =
+            let n = String.length needle and h = String.length msg in
+            let rec go i =
+              i + n <= h && (String.sub msg i n = needle || go (i + 1))
+            in
+            go 0
+          in
+          check "mentions the decode" true (contains "decode");
+          check "carries the bit width" true (contains "2-bit");
+          check "carries the clamp count" true (contains "1 clamped")
+        | _ -> Alcotest.fail "expected Some Internal");
     Alcotest.test_case "guard captures, honest raisers raise" `Quick (fun () ->
         check "ok" true (Error.guard (fun () -> 41 + 1) = Ok 42);
         check "bad_input raiser" true

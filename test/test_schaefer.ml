@@ -411,6 +411,36 @@ let booleanize_tests =
         | Booleanize.Hom h -> Homomorphism.is_homomorphism a b h
         | Booleanize.No_hom -> not (brute_force_exists a b)
         | Booleanize.Not_schaefer _ -> true);
+    Alcotest.test_case "decode clamps out-of-range codes and counts them"
+      `Quick (fun () ->
+        (* |B| = 3 needs 2 bits, so code 3 = 0b11 denotes no element.  A
+           Boolean solution may set an unconstrained element's bits to it;
+           decode must clamp to element 0 and report how often, rather
+           than silently trusting the junk code (the pre-fix behaviour). *)
+        let target = path 3 in
+        let hb = [| 1; 1; 0; 1 |] in
+        let h, clamped = Booleanize.decode_counting ~bits:2 ~target hb in
+        check_int "one clamp" 1 clamped;
+        check_int "clamped element sent to 0" 0 h.(0);
+        check_int "in-range code preserved" 2 h.(1);
+        Alcotest.check mapping_testable "decode agrees with decode_counting"
+          h
+          (Booleanize.decode ~bits:2 ~target hb));
+    Alcotest.test_case "clamp path bumps the telemetry counter" `Quick
+      (fun () ->
+        let sink, _ = Telemetry.Sink.memory () in
+        Telemetry.reset ();
+        Telemetry.set_sink (Some sink);
+        Fun.protect
+          ~finally:(fun () ->
+            Telemetry.set_sink None;
+            Telemetry.reset ())
+          (fun () ->
+            ignore
+              (Booleanize.decode_counting ~bits:2 ~target:(path 3)
+                 [| 1; 1; 0; 1 |]);
+            check_int "schaefer.booleanize.clamped" 1
+              (Telemetry.counter_total "schaefer.booleanize.clamped")));
   ]
 
 
