@@ -24,11 +24,25 @@ let run f =
     Printf.eprintf "cqc: %s\n%!" (Core.Error.to_string e);
     Core.Error.exit_code e
 
-let read_structure path =
-  let text =
+(* File IO failures must surface as located bad-input errors (exit 2),
+   never a backtrace: [Sys_error] messages get the path prefixed when the
+   runtime omitted it ("Is a directory"), and [Unix_error] (sockets,
+   permissions) routes through the same taxonomy. *)
+let read_file path =
+  try
     if path = "-" then In_channel.input_all In_channel.stdin
     else In_channel.with_open_text path In_channel.input_all
-  in
+  with
+  | Sys_error msg ->
+    let n = String.length path in
+    if String.length msg >= n && String.sub msg 0 n = path then
+      Core.Error.bad_input "%s" msg
+    else Core.Error.bad_input "%s: %s" path msg
+  | Unix.Unix_error (e, _, _) ->
+    Core.Error.bad_input "%s: %s" path (Unix.error_message e)
+
+let read_structure path =
+  let text = read_file path in
   match Relational.Structure_text.parse text with
   | s -> s
   | exception Relational.Structure_text.Parse_error (pos, msg) ->
@@ -53,24 +67,68 @@ let structure_arg ~docv pos_index =
 (* Budget flags                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Budget quantities must be positive: 0 or a negative value would build
+   an instantly-exhausted budget that answers 'unknown' without doing any
+   work, which is never what the caller meant — reject it as a usage
+   error at the command line. *)
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "%s is not positive (a budget of 0 nodes would be exhausted \
+              before any work)"
+             s))
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let positive_float =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0. && Float.is_finite f -> Ok f
+    | Some _ ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "%s is not positive (a deadline of 0 seconds would expire before \
+              any work)"
+             s))
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected a number" s))
+  in
+  Arg.conv ~docv:"SECONDS" (parse, Format.pp_print_float)
+
+let nonnegative_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some _ -> Error (`Msg (Printf.sprintf "%s is negative" s))
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let max_nodes_term =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some positive_int) None
     & info [ "max-nodes" ] ~docv:"N"
         ~doc:
           "Abort any single solving route after $(docv) search nodes; the \
            dispatcher degrades to the next route and answers 'unknown' (exit \
-           code 4) only when every route is exhausted.")
+           code 4) only when every route is exhausted.  Must be positive.")
 
 let timeout_term =
   Arg.(
     value
-    & opt (some float) None
+    & opt (some positive_float) None
     & info [ "timeout" ] ~docv:"SECONDS"
         ~doc:
           "Wall-clock deadline for the whole solve, in seconds (may be \
-           fractional).  On expiry the answer is 'unknown' (exit code 4).")
+           fractional).  On expiry the answer is 'unknown' (exit code 4).  \
+           Must be positive.")
 
 let budget_of ~max_nodes ~timeout =
   match (max_nodes, timeout) with
@@ -515,8 +573,6 @@ let check_cmd =
 let selfcheck count seed max_nodes metrics_json trace_out =
   run (fun () ->
       with_telemetry ~command:"selfcheck" ~metrics_json ~trace_out @@ fun () ->
-      if count < 0 then Core.Error.bad_input "--count must be nonnegative";
-      if max_nodes < 1 then Core.Error.bad_input "--max-nodes must be positive";
       let report = Core.Selfcheck.run ~max_nodes ~count ~seed () in
       Format.printf
         "%d instance(s): %d decided by at least one route, %d skipped@."
@@ -537,7 +593,7 @@ let selfcheck count seed max_nodes metrics_json trace_out =
 let selfcheck_cmd =
   let count =
     Arg.(
-      value & opt int 500
+      value & opt nonnegative_int 500
       & info [ "count" ] ~docv:"N" ~doc:"Number of random instances to check.")
   in
   let seed =
@@ -547,7 +603,7 @@ let selfcheck_cmd =
   in
   let max_nodes =
     Arg.(
-      value & opt int 50_000
+      value & opt positive_int 50_000
       & info [ "max-nodes" ] ~docv:"N"
           ~doc:
             "Per-route budget on each instance; an exhausted route is \
@@ -571,6 +627,203 @@ let selfcheck_cmd =
               seed and exits 5.";
          ])
     Term.(const selfcheck $ count $ seed $ max_nodes $ metrics_json_term $ trace_out_term)
+
+(* ------------------------------------------------------------------ *)
+(* serve: the long-lived solving daemon                                 *)
+(* ------------------------------------------------------------------ *)
+
+let serve socket stdio max_inflight max_queue cache_size ceiling_nodes
+    ceiling_timeout default_nodes default_timeout max_frame_bytes metrics_json
+    trace_out =
+  run (fun () ->
+      with_telemetry ~command:"serve" ~metrics_json ~trace_out @@ fun () ->
+      let mode =
+        match (stdio, socket) with
+        | true, None -> Serve.Server.Stdio
+        | false, Some path -> Serve.Server.Unix_socket path
+        | true, Some _ ->
+          Core.Error.bad_input "--stdio and --socket are mutually exclusive"
+        | false, None ->
+          Core.Error.bad_input "serve needs --socket PATH or --stdio"
+      in
+      (match mode with
+      | Serve.Server.Unix_socket path ->
+        Format.eprintf "cqc serve: listening on %s (SIGTERM drains and exits)@."
+          path
+      | Serve.Server.Stdio -> ());
+      Serve.Server.run
+        {
+          Serve.Server.mode;
+          max_inflight;
+          max_queue;
+          cache_capacity = cache_size;
+          opt_ceiling_nodes = ceiling_nodes;
+          opt_ceiling_timeout = ceiling_timeout;
+          opt_default_nodes = default_nodes;
+          opt_default_timeout = default_timeout;
+          opt_max_frame_bytes = max_frame_bytes;
+        })
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv), one JSONL frame per request.")
+  in
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve a single session over stdin/stdout instead of a socket \
+             (for harnesses and tests); ends at end of input.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt positive_int 4
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Solve at most $(docv) requests concurrently (admission control).")
+  in
+  let max_queue =
+    Arg.(
+      value & opt nonnegative_int 16
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Park at most $(docv) requests waiting for a solve slot \
+             (backpressure); beyond that, requests are shed with a typed \
+             'shed' response.")
+  in
+  let cache_size =
+    Arg.(
+      value & opt positive_int 64
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:
+            "Keep the analyses of at most $(docv) distinct templates (LRU \
+             eviction).")
+  in
+  let ceiling_nodes =
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:
+            "Server-wide ceiling on any request's node budget: requests \
+             asking for more (or for none) are clamped to $(docv).")
+  in
+  let ceiling_timeout =
+    Arg.(
+      value
+      & opt (some positive_float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Server-wide ceiling on any request's deadline, in seconds.")
+  in
+  let default_nodes =
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "default-max-nodes" ] ~docv:"N"
+          ~doc:"Node budget for requests that name none.")
+  in
+  let default_timeout =
+    Arg.(
+      value
+      & opt (some positive_float) None
+      & info [ "default-timeout" ] ~docv:"SECONDS"
+          ~doc:"Deadline for requests that name none, in seconds.")
+  in
+  let max_frame_bytes =
+    Arg.(
+      value
+      & opt positive_int (1 lsl 20)
+      & info [ "max-frame-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Reject request frames longer than $(docv) bytes with a typed \
+             error instead of buffering them.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:"Run the long-lived JSONL solving daemon (crash-proof request loop)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Serves solve/contain/ping/stats requests, one JSON object per \
+              line, with full fault isolation: any per-request failure — \
+              malformed frame, bad structure text, budget exhaustion, \
+              certificate rejection, injected fault — becomes a typed error \
+              response mirroring the documented exit codes, and never kills \
+              the loop.  Templates (the target side B) are fingerprinted and \
+              their analyses cached across requests with LRU eviction and \
+              poisoning on build failure.  SIGINT/SIGTERM drain in-flight \
+              work through budget cancellation and exit 0.";
+           `P
+             "Set CQCSP_FAULT=site:seed:rate (sites: parse, admit, cache, \
+              solve, respond, all) to arm deterministic fault injection for \
+              chaos testing.";
+         ])
+    Term.(
+      const serve $ socket $ stdio $ max_inflight $ max_queue $ cache_size
+      $ ceiling_nodes $ ceiling_timeout $ default_nodes $ default_timeout
+      $ max_frame_bytes $ metrics_json_term $ trace_out_term)
+
+(* request: a thin JSONL client for the daemon, used by the smoke tests
+   and handy for ops one-liners. *)
+let request socket frames =
+  run (fun () ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          let send line =
+            let line = line ^ "\n" in
+            let rec go off len =
+              if len > 0 then begin
+                let n = Unix.write_substring fd line off len in
+                go (off + n) (len - n)
+              end
+            in
+            go 0 (String.length line)
+          in
+          (match frames with
+          | [] ->
+            In_channel.fold_lines (fun () line -> send line) () In_channel.stdin
+          | frames -> List.iter send frames);
+          Unix.shutdown fd Unix.SHUTDOWN_SEND;
+          let chunk = Bytes.create 8192 in
+          let rec copy () =
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+              print_string (Bytes.sub_string chunk 0 n);
+              copy ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> copy ()
+          in
+          copy ();
+          flush stdout;
+          0))
+
+let request_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's Unix-domain socket.")
+  in
+  let frames =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FRAME"
+          ~doc:
+            "Request frames (one JSON object each); read from stdin when \
+             none are given.")
+  in
+  Cmd.v
+    (Cmd.info "request" ~exits
+       ~doc:"Send JSONL requests to a running cqc serve daemon")
+    Term.(const request $ socket $ frames)
 
 let main =
   let doc = "conjunctive-query containment and constraint satisfaction" in
@@ -598,6 +851,6 @@ let main =
   in
   Cmd.group info_
     [ contain_cmd; minimize_cmd; evaluate_cmd; solve_cmd; classify_cmd; treewidth_cmd;
-      count_cmd; game_cmd; check_cmd; selfcheck_cmd ]
+      count_cmd; game_cmd; check_cmd; selfcheck_cmd; serve_cmd; request_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -32,6 +32,15 @@ let of_exn = function
             bits source_size target_size clamped (if clamped = 1 then "" else "s")))
   | Invalid_argument msg -> Some (Bad_input msg)
   | Sys_error msg -> Some (Bad_input msg)
+  | Unix.Unix_error (err, fn, arg) ->
+    (* File/socket IO failures (ENOENT, EISDIR, EACCES, ECONNREFUSED, …)
+       are the caller's environment, not our bug: the same class as an
+       unreadable structure file. *)
+    Some
+      (Bad_input
+         (Printf.sprintf "%s%s: %s" fn
+            (if arg = "" then "" else " " ^ arg)
+            (Unix.error_message err)))
   | Failure msg -> Some (Internal msg)
   | Not_found -> Some (Internal "Not_found escaped")
   | Assert_failure (file, line, _) ->
@@ -57,3 +66,9 @@ let exit_code = function
   | Unsupported _ -> 3
   | Budget_exhausted _ -> 4
   | Internal _ -> 5
+
+let kind_name = function
+  | Bad_input _ -> "bad_input"
+  | Unsupported _ -> "unsupported"
+  | Budget_exhausted _ -> "budget_exhausted"
+  | Internal _ -> "internal"

@@ -35,9 +35,10 @@ val internal : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val of_exn : exn -> t option
 (** Classify an exception raised by any library layer: parse errors and
     [Invalid_argument] become {!Bad_input}, [Budget.Exhausted] becomes
-    {!Budget_exhausted}, [Sys_error] becomes {!Bad_input}, [Failure],
-    [Not_found] and [Assert_failure] become {!Internal}; [None] for
-    anything unrecognized (asynchronous exceptions must keep flying). *)
+    {!Budget_exhausted}, [Sys_error] and [Unix.Unix_error] (file and
+    socket IO) become {!Bad_input}, [Failure], [Not_found] and
+    [Assert_failure] become {!Internal}; [None] for anything unrecognized
+    (asynchronous exceptions must keep flying). *)
 
 val guard : (unit -> 'a) -> ('a, t) result
 (** Run a thunk, converting every exception recognized by {!of_exn} into
@@ -49,3 +50,8 @@ val pp : Format.formatter -> t -> unit
 
 val exit_code : t -> int
 (** The documented process exit code for this error class. *)
+
+val kind_name : t -> string
+(** The stable machine-readable class name, used by the serve protocol's
+    typed error responses: ["bad_input"], ["unsupported"],
+    ["budget_exhausted"] or ["internal"]. *)

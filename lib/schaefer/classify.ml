@@ -40,18 +40,32 @@ let cache_capacity = 4096
 let class_cache : (int * int list, schaefer_class list) Hashtbl.t =
   Hashtbl.create 256
 
+(* The table is process-global and the serve daemon classifies templates
+   from concurrent request threads; all table access runs under this
+   lock.  The closure tests themselves run outside it — concurrent misses
+   on the same key just both compute and the second insert wins. *)
+let class_cache_lock = Mutex.create ()
+
 let relation_classes r =
   let key = (Boolean_relation.arity r, Boolean_relation.masks r) in
-  match Hashtbl.find_opt class_cache key with
+  let cached =
+    Mutex.lock class_cache_lock;
+    let found = Hashtbl.find_opt class_cache key in
+    Mutex.unlock class_cache_lock;
+    found
+  in
+  match cached with
   | Some classes ->
     Telemetry.count "schaefer.class_cache_hits" 1;
     classes
   | None ->
     Telemetry.count "schaefer.class_cache_misses" 1;
     let classes = List.filter (closure_test r) all_classes in
+    Mutex.lock class_cache_lock;
     if Hashtbl.length class_cache >= cache_capacity then
       Hashtbl.reset class_cache;
     Hashtbl.replace class_cache key classes;
+    Mutex.unlock class_cache_lock;
     classes
 
 let relation_in_class r c = List.mem c (relation_classes r)

@@ -1,0 +1,171 @@
+open Relational
+
+type entry = {
+  structure : Structure.t;
+  canonical : string;  (* full key, compared on hit to survive collisions *)
+  mutable last_used : int;  (* LRU clock stamp *)
+}
+
+type lookup = Hit of Structure.t | Miss of Structure.t | Poisoned of string
+
+type stats = {
+  hits : int;
+  misses : int;
+  poisoned : int;
+  build_failures : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  poison : (string, string) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable poisoned_lookups : int;
+  mutable build_failures : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  let capacity = max 1 capacity in
+  {
+    lock = Mutex.create ();
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    poison = Hashtbl.create 16;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    poisoned_lookups = 0;
+    build_failures = 0;
+    evictions = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* FNV-1a 64 over the canonical text: stable across runs (unlike
+   Hashtbl.hash seeds a future runtime might randomize) and cheap. *)
+let fnv1a64 s =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let canonical_text b = Structure_text.print b
+
+let fingerprint b = fnv1a64 (canonical_text b)
+
+(* The per-template analysis: force every relation's hash index (the
+   propagation/semijoin/direct routes all probe them) and run the
+   classifier passes whose results live in memo tables keyed by the
+   relation values — Boolean Schaefer classes, the graph-dichotomy
+   verdict.  Everything here is a pure warm-up: solving against the
+   interned structure afterwards finds the work already done. *)
+let build_analysis b =
+  Fault.trip Fault.Cache_build;
+  List.iter
+    (fun (name, _arity) -> ignore (Structure.index b name))
+    (Vocabulary.symbols (Structure.vocabulary b));
+  if Schaefer.Classify.is_boolean_structure b then
+    ignore (Schaefer.Classify.structure_classes b);
+  if Core.Graph_dichotomy.is_undirected_graph b then
+    ignore (Core.Graph_dichotomy.complexity b)
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun fp entry acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= entry.last_used -> acc
+        | _ -> Some (fp, entry))
+      t.table None
+  in
+  match victim with
+  | Some (fp, _) ->
+    Hashtbl.remove t.table fp;
+    t.evictions <- t.evictions + 1;
+    Telemetry.count "serve.cache.evicted" 1
+  | None -> ()
+
+(* Poison marks are bounded too: a flood of distinct failing templates
+   must not grow the table without limit.  Wholesale reset is fine — the
+   cost of forgetting a mark is one retried build. *)
+let max_poison t = 4 * t.capacity
+
+let lookup t b =
+  let canonical = canonical_text b in
+  let fp = fnv1a64 canonical in
+  let decision =
+    with_lock t (fun () ->
+        t.clock <- t.clock + 1;
+        match Hashtbl.find_opt t.poison fp with
+        | Some msg ->
+          t.poisoned_lookups <- t.poisoned_lookups + 1;
+          Telemetry.count "serve.cache.poisoned" 1;
+          Poisoned msg
+        | None -> (
+          match Hashtbl.find_opt t.table fp with
+          | Some entry when entry.canonical = canonical ->
+            entry.last_used <- t.clock;
+            t.hits <- t.hits + 1;
+            Telemetry.count "serve.cache.hit" 1;
+            Hit entry.structure
+          | _ -> (
+            (* Absent, or a fingerprint collision (the canonical texts
+               differ): build this template's analysis and (re)insert. *)
+            match build_analysis b with
+            | () ->
+              if
+                not (Hashtbl.mem t.table fp)
+                && Hashtbl.length t.table >= t.capacity
+              then evict_lru t;
+              Hashtbl.replace t.table fp
+                { structure = b; canonical; last_used = t.clock };
+              t.misses <- t.misses + 1;
+              Telemetry.count "serve.cache.miss" 1;
+              Miss b
+            | exception e ->
+              let msg =
+                match e with
+                | Fault.Injected site ->
+                  Printf.sprintf "injected fault at site %s"
+                    (Fault.site_name site)
+                | e -> Printexc.to_string e
+              in
+              t.build_failures <- t.build_failures + 1;
+              if Hashtbl.length t.poison >= max_poison t then
+                Hashtbl.reset t.poison;
+              Hashtbl.replace t.poison fp msg;
+              t.poisoned_lookups <- t.poisoned_lookups + 1;
+              Telemetry.count "serve.cache.poisoned" 1;
+              Poisoned msg)))
+  in
+  (decision, fp)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        poisoned = t.poisoned_lookups;
+        build_failures = t.build_failures;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.table;
+        capacity = t.capacity;
+      })
+
+let clear t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.table;
+      Hashtbl.reset t.poison)

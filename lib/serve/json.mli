@@ -1,0 +1,36 @@
+(** A minimal JSON tree: just enough for the serve protocol's one-object-
+    per-line frames, with a hardened parser (depth cap, strict escapes)
+    so adversarial frames surface as {!Parse_error}, never as a stack
+    overflow or an uncaught exception deeper in the daemon. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Malformed input, with a byte offset in the message. *)
+
+val parse : string -> t
+(** Parse one complete JSON value; trailing non-whitespace is an error.
+    Nesting is capped (adversarial [\[\[\[…] frames fail cleanly).
+    @raise Parse_error on malformed input. *)
+
+val to_string : t -> string
+(** One-line rendering; strings are escaped, floats use a round-tripping
+    format, NaN/infinity render as [null] (JSON has no spelling for
+    them). *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on absent fields and non-objects. *)
+
+val string_member : string -> t -> string option
+val int_member : string -> t -> int option
+val float_member : string -> t -> float option
+(** [float_member] accepts both [Int] and [Float] fields. *)
+
+val bool_member : string -> t -> bool option

@@ -1,0 +1,203 @@
+type op = Solve | Contain | Ping | Stats
+
+let op_name = function
+  | Solve -> "solve"
+  | Contain -> "contain"
+  | Ping -> "ping"
+  | Stats -> "stats"
+
+type request = {
+  id : Json.t;
+  op : op;
+  source : string option;
+  target : string option;
+  q1 : string option;
+  q2 : string option;
+  max_nodes : int option;
+  timeout : float option;
+  certify : bool;
+}
+
+let id_of_json j = match Json.member "id" j with Some v -> v | None -> Json.Null
+
+(* Field accessors that distinguish "absent" from "present with the wrong
+   type": a frame with {"max_nodes": "lots"} must be a typed bad_input
+   response, not a silently unbudgeted solve. *)
+let opt_string ~what key j =
+  match Json.member key j with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.String s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S of %s must be a string" key what)
+
+let opt_int ~what key j =
+  match Json.member key j with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Int i) -> Ok (Some i)
+  | Some _ ->
+    Error (Printf.sprintf "field %S of %s must be an integer" key what)
+
+let opt_number ~what key j =
+  match Json.member key j with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Int i) -> Ok (Some (float_of_int i))
+  | Some (Json.Float f) -> Ok (Some f)
+  | Some _ -> Error (Printf.sprintf "field %S of %s must be a number" key what)
+
+let opt_bool ~what key j =
+  match Json.member key j with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Bool b) -> Ok (Some b)
+  | Some _ ->
+    Error (Printf.sprintf "field %S of %s must be a boolean" key what)
+
+let ( let* ) = Result.bind
+
+let request_of_json j =
+  match j with
+  | Json.Obj _ -> (
+    let id = id_of_json j in
+    match Json.member "op" j with
+    | None -> Error "missing field \"op\""
+    | Some (Json.String opname) ->
+      let* op =
+        match opname with
+        | "solve" -> Ok Solve
+        | "contain" -> Ok Contain
+        | "ping" -> Ok Ping
+        | "stats" -> Ok Stats
+        | other ->
+          Error
+            (Printf.sprintf
+               "unknown op %S (expected solve, contain, ping or stats)" other)
+      in
+      let what = Printf.sprintf "op %S" opname in
+      let* source = opt_string ~what "source" j in
+      let* target = opt_string ~what "target" j in
+      let* q1 = opt_string ~what "q1" j in
+      let* q2 = opt_string ~what "q2" j in
+      let* max_nodes = opt_int ~what "max_nodes" j in
+      let* timeout = opt_number ~what "timeout" j in
+      let* certify = opt_bool ~what "certify" j in
+      let* () =
+        match max_nodes with
+        | Some n when n <= 0 -> Error "\"max_nodes\" must be positive"
+        | _ -> Ok ()
+      in
+      let* () =
+        match timeout with
+        | Some s when s <= 0. -> Error "\"timeout\" must be positive"
+        | _ -> Ok ()
+      in
+      let require field value =
+        match value with
+        | Some _ -> Ok ()
+        | None -> Error (Printf.sprintf "%s requires field %S" what field)
+      in
+      let* () =
+        match op with
+        | Solve ->
+          let* () = require "source" source in
+          require "target" target
+        | Contain ->
+          let* () = require "q1" q1 in
+          require "q2" q2
+        | Ping | Stats -> Ok ()
+      in
+      Ok
+        {
+          id;
+          op;
+          source;
+          target;
+          q1;
+          q2;
+          max_nodes;
+          timeout;
+          certify = Option.value ~default:false certify;
+        }
+    | Some _ -> Error "field \"op\" must be a string")
+  | _ -> Error "frame must be a JSON object"
+
+(* --- Responses ----------------------------------------------------- *)
+
+let ok_ping ~id =
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "ok");
+      ("op", Json.String "ping");
+      ("code", Json.Int 0);
+    ]
+
+let ok_stats ~id ~fields =
+  Json.Obj
+    ([
+       ("id", id);
+       ("status", Json.String "ok");
+       ("op", Json.String "stats");
+       ("code", Json.Int 0);
+     ]
+    @ fields)
+
+let ok_verdict ~id ~op ~verdict ~route ~cache ~nodes ~elapsed_ms ~certified =
+  let verdict_fields =
+    match verdict with
+    | Core.Solver.Sat h ->
+      [
+        ("verdict", Json.String "sat");
+        ( "witness",
+          Json.List (Array.to_list (Array.map (fun v -> Json.Int v) h)) );
+        ("code", Json.Int 0);
+      ]
+    | Core.Solver.Unsat c ->
+      [
+        ("verdict", Json.String "unsat");
+        ("certificate", Json.String (Certificate.describe c));
+        ("code", Json.Int 0);
+      ]
+    | Core.Solver.Unknown reason ->
+      [
+        ("verdict", Json.String "unknown");
+        ("reason", Json.String (Relational.Budget.reason_to_string reason));
+        ("code", Json.Int 4);
+      ]
+  in
+  Json.Obj
+    ([
+       ("id", id);
+       ("status", Json.String "ok");
+       ("op", Json.String (op_name op));
+       ("route", Json.String route);
+       ("cache", Json.String cache);
+       ("nodes", Json.Int nodes);
+       ("elapsed_ms", Json.Float elapsed_ms);
+     ]
+    @ verdict_fields
+    @
+    match certified with
+    | None -> []
+    | Some ok -> [ ("certified", Json.Bool ok) ])
+
+let error ~id e =
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "error");
+      ("error", Json.String (Core.Error.kind_name e));
+      ("code", Json.Int (Core.Error.exit_code e));
+      ("message", Json.String (Core.Error.to_string e));
+    ]
+
+let shed ~id ~message =
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "shed");
+      ("code", Json.Int 4);
+      ("message", Json.String message);
+    ]
+
+let fallback_line =
+  "{\"id\":null,\"status\":\"error\",\"error\":\"internal\",\"code\":5,\
+   \"message\":\"internal error (please report): response serialization \
+   failed\"}"

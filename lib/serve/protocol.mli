@@ -1,0 +1,83 @@
+(** The serve wire protocol: one JSON object per line in each direction.
+
+    {2 Requests}
+
+    {v
+    {"id": <any>, "op": "solve",
+     "source": "<structure text>", "target": "<structure text>",
+     "max_nodes": N, "timeout": S, "certify": true}
+    {"id": <any>, "op": "contain", "q1": "<query>", "q2": "<query>", ...}
+    {"id": <any>, "op": "ping"}
+    {"id": <any>, "op": "stats"}
+    v}
+
+    [id] is optional and echoed back verbatim (any JSON value); budget
+    fields are optional and clamped by the server-wide ceilings.
+
+    {2 Responses}
+
+    Every response is an object with ["id"] (echoed, [null] when the
+    frame's id was absent or unparseable) and ["status"] of ["ok"],
+    ["error"] or ["shed"].  [ok] responses carry ["op"] and, for
+    verdict-bearing ops, ["verdict"] (["sat"] / ["unsat"] / ["unknown"]),
+    ["route"], ["cache"] (["hit"] / ["miss"] / ["poisoned"] / ["none"]),
+    ["nodes"], ["elapsed_ms"] and ["code"] (0, or 4 for [unknown] —
+    mirroring the CLI exit codes).  [error] responses carry ["error"]
+    (the {!Core.Error} kind), ["code"] (2/3/4/5, the documented exit
+    code) and ["message"].  [shed] responses carry ["message"] and mean
+    admission control refused the request under load. *)
+
+type op = Solve | Contain | Ping | Stats
+
+val op_name : op -> string
+
+type request = {
+  id : Json.t;  (** Echoed back; [Null] when absent. *)
+  op : op;
+  source : string option;
+  target : string option;
+  q1 : string option;
+  q2 : string option;
+  max_nodes : int option;
+  timeout : float option;
+  certify : bool;
+}
+
+val request_of_json : Json.t -> (request, string) result
+(** Typed validation of a parsed frame: the error is a message suitable
+    for a [bad_input] response (unknown op, wrong field type, negative
+    budget, …).  The request's [id] is recovered even on failure via
+    {!id_of_json}. *)
+
+val id_of_json : Json.t -> Json.t
+(** The frame's ["id"] field, [Null] when absent or not an object. *)
+
+(** {2 Response builders} — pure {!Json.t} constructors; serialization
+    stays with the caller so the respond fault site can wrap it. *)
+
+val ok_ping : id:Json.t -> Json.t
+
+val ok_stats : id:Json.t -> fields:(string * Json.t) list -> Json.t
+
+val ok_verdict :
+  id:Json.t ->
+  op:op ->
+  verdict:Core.Solver.verdict ->
+  route:string ->
+  cache:string ->
+  nodes:int ->
+  elapsed_ms:float ->
+  certified:bool option ->
+  Json.t
+(** [certified] is [Some true] when [--certify]-style checking ran and
+    accepted (rejections become internal errors upstream); [None] when
+    not requested. *)
+
+val error : id:Json.t -> Core.Error.t -> Json.t
+
+val shed : id:Json.t -> message:string -> Json.t
+
+val fallback_line : string
+(** A pre-rendered internal-error response line (no trailing newline)
+    for the double-fault path: emitting it must not allocate, parse or
+    trip any fault site. *)

@@ -1,0 +1,546 @@
+type config = {
+  cache : Cache.t;
+  ceiling_nodes : int option;
+  ceiling_timeout : float option;
+  default_nodes : int option;
+  default_timeout : float option;
+  cancel : bool ref;
+  max_frame_bytes : int;
+  admit : unit -> [ `Go | `Shed of string | `Cancelled ];
+  release : unit -> unit;
+}
+
+let default_config ?(cache_capacity = 64) () =
+  {
+    cache = Cache.create ~capacity:cache_capacity;
+    ceiling_nodes = None;
+    ceiling_timeout = None;
+    default_nodes = None;
+    default_timeout = None;
+    cancel = ref false;
+    max_frame_bytes = 1 lsl 20;
+    admit = (fun () -> `Go);
+    release = (fun () -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The request handler — the isolation boundary                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-request budget: the request's own limits (or the server defaults)
+   clamped by the server-wide ceilings, sharing the server cancel flag so
+   shutdown unwinds in-flight solves. *)
+let budget_for cfg ~max_nodes ~timeout =
+  let clamp requested ceiling default mn =
+    match
+      ( (match requested with Some v -> Some v | None -> default),
+        ceiling )
+    with
+    | Some v, Some c -> Some (mn v c)
+    | None, c -> c
+    | v, None -> v
+  in
+  Core.Budget.create
+    ?max_nodes:(clamp max_nodes cfg.ceiling_nodes cfg.default_nodes min)
+    ?timeout:(clamp timeout cfg.ceiling_timeout cfg.default_timeout Float.min)
+    ~cancel:cfg.cancel ()
+
+let parse_structure ~what text =
+  match Relational.Structure_text.parse text with
+  | s -> s
+  | exception Relational.Structure_text.Parse_error (pos, msg) ->
+    Core.Error.bad_input "bad %s structure at %s: %s" what
+      (Relational.Source_position.to_string pos)
+      msg
+
+let parse_query ~what text =
+  match Cq.Parser.parse text with
+  | q -> q
+  | exception Cq.Parser.Parse_error (pos, msg) ->
+    Core.Error.bad_input "bad query %s at %s: %s" what
+      (Relational.Source_position.to_string pos)
+      msg
+
+let attempts_nodes attempts =
+  List.fold_left
+    (fun acc { Core.Solver.nodes; _ } -> acc + nodes)
+    0 attempts
+
+(* Solve (A, B) with the template side routed through the cache; returns
+   the response.  [certify] re-derives the verdict's certificate with the
+   trusted checker — a rejection is an internal error, raised and mapped
+   at the boundary like everything else. *)
+let solve_instance cfg ~id ~op ~certify ~max_nodes ~timeout a b =
+  let lookup, _fp = Cache.lookup cfg.cache b in
+  let b, cache_status =
+    match lookup with
+    | Cache.Hit interned -> (interned, "hit")
+    | Cache.Miss interned -> (interned, "miss")
+    | Cache.Poisoned _ -> (b, "poisoned")
+  in
+  let budget = budget_for cfg ~max_nodes ~timeout in
+  Fault.trip Fault.Solve;
+  let t0 = Unix.gettimeofday () in
+  let r = Core.Solver.solve ~budget a b in
+  (* Microsecond precision is plenty; full-precision floats bloat frames. *)
+  let elapsed_ms =
+    Float.round (1e6 *. (Unix.gettimeofday () -. t0)) /. 1000.
+  in
+  let certified =
+    if not certify then None
+    else
+      match Core.Solver.certificate r with
+      | None -> None
+      | Some c ->
+        if Certificate.check a b c then Some true
+        else
+          Core.Error.internal
+            "the checker rejected the %s certificate of route %s"
+            (Certificate.describe c)
+            (Core.Solver.route_name r.Core.Solver.route)
+  in
+  Protocol.ok_verdict ~id ~op ~verdict:r.Core.Solver.verdict
+    ~route:(Core.Solver.route_name r.Core.Solver.route)
+    ~cache:cache_status
+    ~nodes:(attempts_nodes r.Core.Solver.attempts)
+    ~elapsed_ms ~certified
+
+let stats_fields cfg =
+  let c = Cache.stats cfg.cache in
+  [
+    ( "cache",
+      Json.Obj
+        [
+          ("hits", Json.Int c.Cache.hits);
+          ("misses", Json.Int c.Cache.misses);
+          ("poisoned", Json.Int c.Cache.poisoned);
+          ("build_failures", Json.Int c.Cache.build_failures);
+          ("evictions", Json.Int c.Cache.evictions);
+          ("entries", Json.Int c.Cache.entries);
+          ("capacity", Json.Int c.Cache.capacity);
+        ] );
+    ( "faults",
+      Json.Obj
+        (List.map
+           (fun (site, n) -> (site, Json.Int n))
+           (Fault.injected_per_site ())) );
+  ]
+
+let dispatch cfg (req : Protocol.request) =
+  let id = req.Protocol.id in
+  match req.Protocol.op with
+  | Protocol.Ping -> Protocol.ok_ping ~id
+  | Protocol.Stats -> Protocol.ok_stats ~id ~fields:(stats_fields cfg)
+  | (Protocol.Solve | Protocol.Contain) as op -> (
+    Fault.trip Fault.Admit;
+    match cfg.admit () with
+    | `Shed message ->
+      Telemetry.count "serve.shed" 1;
+      Protocol.shed ~id ~message
+    | `Cancelled ->
+      Protocol.error ~id
+        (Core.Error.Budget_exhausted Relational.Budget.Cancelled)
+    | `Go ->
+      Fun.protect ~finally:cfg.release (fun () ->
+          let get field = function
+            | Some v -> v
+            | None ->
+              (* request_of_json validated presence; reaching here is a
+                 handler bug, not request content. *)
+              Core.Error.internal "missing validated field %S" field
+          in
+          match op with
+          | Protocol.Solve ->
+            let a = parse_structure ~what:"source" (get "source" req.source) in
+            let b = parse_structure ~what:"target" (get "target" req.target) in
+            solve_instance cfg ~id ~op ~certify:req.certify
+              ~max_nodes:req.max_nodes ~timeout:req.timeout a b
+          | Protocol.Contain ->
+            let q1 = parse_query ~what:"q1" (get "q1" req.q1) in
+            let q2 = parse_query ~what:"q2" (get "q2" req.q2) in
+            let a, b =
+              match Core.Solver.containment_instance q1 q2 with
+              | pair -> pair
+              | exception Invalid_argument msg -> Core.Error.bad_input "%s" msg
+            in
+            solve_instance cfg ~id ~op ~certify:req.certify
+              ~max_nodes:req.max_nodes ~timeout:req.timeout a b
+          | Protocol.Ping | Protocol.Stats -> assert false))
+
+let handle_line cfg line =
+  Telemetry.count "serve.requests" 1;
+  let id = ref Json.Null in
+  let response =
+    try
+      if String.length line > cfg.max_frame_bytes then
+        Core.Error.bad_input "frame of %d bytes exceeds the %d-byte limit"
+          (String.length line) cfg.max_frame_bytes;
+      Fault.trip Fault.Parse;
+      let j =
+        match Json.parse line with
+        | j -> j
+        | exception Json.Parse_error msg ->
+          Core.Error.bad_input "bad frame: %s" msg
+      in
+      id := Protocol.id_of_json j;
+      match Protocol.request_of_json j with
+      | Error msg -> Protocol.error ~id:!id (Core.Error.Bad_input msg)
+      | Ok req -> dispatch cfg req
+    with
+    | Fault.Injected site ->
+      Protocol.error ~id:!id
+        (Core.Error.Internal
+           (Printf.sprintf "injected fault at site %s" (Fault.site_name site)))
+    | Core.Error.Error e -> Protocol.error ~id:!id e
+    | e -> (
+      match Core.Error.of_exn e with
+      | Some t -> Protocol.error ~id:!id t
+      | None ->
+        (* The CLI re-raises unrecognized exceptions to die loudly; the
+           daemon must not die, so the catch-all is total here. *)
+        Protocol.error ~id:!id (Core.Error.Internal (Printexc.to_string e)))
+  in
+  (match response with
+  | Json.Obj fields -> (
+    match List.assoc_opt "status" fields with
+    | Some (Json.String s) -> Telemetry.count ("serve.response." ^ s) 1
+    | _ -> ())
+  | _ -> ());
+  match
+    Fault.trip Fault.Respond;
+    Json.to_string response
+  with
+  | line -> line
+  | exception _ -> Protocol.fallback_line
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Admission = struct
+  type t = {
+    lock : Mutex.t;
+    freed : Condition.t;
+    max_inflight : int;
+    max_queue : int;
+    shutdown : bool ref;
+    mutable inflight : int;
+    mutable waiting : int;
+  }
+
+  let create ~max_inflight ~max_queue ~shutdown =
+    {
+      lock = Mutex.create ();
+      freed = Condition.create ();
+      max_inflight = max 1 max_inflight;
+      max_queue = max 0 max_queue;
+      shutdown;
+      inflight = 0;
+      waiting = 0;
+    }
+
+  let admit t =
+    Mutex.lock t.lock;
+    let rec decide () =
+      if !(t.shutdown) then `Cancelled
+      else if t.inflight < t.max_inflight then begin
+        t.inflight <- t.inflight + 1;
+        `Go
+      end
+      else if t.waiting >= t.max_queue then
+        `Shed
+          (Printf.sprintf
+             "server overloaded: %d in flight, %d queued (limits %d/%d)"
+             t.inflight t.waiting t.max_inflight t.max_queue)
+      else begin
+        (* Backpressure: this connection thread parks here, which also
+           stops it from reading further frames off its socket. *)
+        t.waiting <- t.waiting + 1;
+        Condition.wait t.freed t.lock;
+        t.waiting <- t.waiting - 1;
+        decide ()
+      end
+    in
+    let r = decide () in
+    Mutex.unlock t.lock;
+    (match r with `Go -> Telemetry.count "serve.admitted" 1 | _ -> ());
+    r
+
+  let release t =
+    Mutex.lock t.lock;
+    t.inflight <- t.inflight - 1;
+    Condition.signal t.freed;
+    Mutex.unlock t.lock
+
+  let wake_all t =
+    Mutex.lock t.lock;
+    Condition.broadcast t.freed;
+    Mutex.unlock t.lock
+end
+
+(* ------------------------------------------------------------------ *)
+(* The daemon                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type socket_mode = Unix_socket of string | Stdio
+
+type options = {
+  mode : socket_mode;
+  max_inflight : int;
+  max_queue : int;
+  cache_capacity : int;
+  opt_ceiling_nodes : int option;
+  opt_ceiling_timeout : float option;
+  opt_default_nodes : int option;
+  opt_default_timeout : float option;
+  opt_max_frame_bytes : int;
+}
+
+(* EINTR-safe read: signals interrupt blocked reads; only shutdown (via
+   socket shutdown, yielding 0) should end the loop. *)
+let rec safe_read fd buf off len =
+  match Unix.read fd buf off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> safe_read fd buf off len
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+  end
+
+(* One connection: split the byte stream into lines, feed each through
+   the handler, write back one response line per frame.  A line that
+   outgrows the frame limit is answered once and discarded to the next
+   newline, so a malicious endless frame cannot hold the buffer.  Any IO
+   error (EPIPE, reset) just ends this connection — never the daemon. *)
+let serve_connection cfg ~shutdown fd =
+  let chunk = Bytes.create 8192 in
+  let line = Buffer.create 1024 in
+  let discarding = ref false in
+  (* Pre-empt the handler: the frame is already too big to buffer, so the
+     typed response is built directly (same shape handle_line would
+     produce for an oversized frame). *)
+  let overflow_response () =
+    Telemetry.count "serve.requests" 1;
+    Telemetry.count "serve.response.error" 1;
+    match
+      Json.to_string
+        (Protocol.error ~id:Json.Null
+           (Core.Error.Bad_input
+              (Printf.sprintf "frame exceeds the %d-byte limit"
+                 cfg.max_frame_bytes)))
+    with
+    | s -> s
+    | exception _ -> Protocol.fallback_line
+  in
+  let respond s =
+    write_all fd (s ^ "\n") 0 (String.length s + 1)
+  in
+  try
+    let running = ref true in
+    while !running do
+      let n = safe_read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then running := false
+      else
+        for i = 0 to n - 1 do
+          match Bytes.get chunk i with
+          | '\n' ->
+            if !discarding then discarding := false
+            else begin
+              let frame = Buffer.contents line in
+              if String.trim frame <> "" then respond (handle_line cfg frame)
+            end;
+            Buffer.clear line
+          | c ->
+            if not !discarding then begin
+              Buffer.add_char line c;
+              if Buffer.length line > cfg.max_frame_bytes then begin
+                respond (overflow_response ());
+                Buffer.clear line;
+                discarding := true
+              end
+            end
+        done;
+      if !shutdown && Buffer.length line = 0 then running := false
+    done
+  with _ -> ()
+
+type registry = {
+  reg_lock : Mutex.t;
+  mutable conns : (int * Unix.file_descr) list;
+  mutable next_id : int;
+}
+
+let registry_add reg fd =
+  Mutex.lock reg.reg_lock;
+  let id = reg.next_id in
+  reg.next_id <- id + 1;
+  reg.conns <- (id, fd) :: reg.conns;
+  Mutex.unlock reg.reg_lock;
+  id
+
+let registry_remove reg id =
+  Mutex.lock reg.reg_lock;
+  reg.conns <- List.filter (fun (i, _) -> i <> id) reg.conns;
+  Mutex.unlock reg.reg_lock
+
+let registry_shutdown_all reg =
+  Mutex.lock reg.reg_lock;
+  let fds = List.map snd reg.conns in
+  Mutex.unlock reg.reg_lock;
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+    fds
+
+let bind_unix_socket path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     if Sys.file_exists path then begin
+       (* A live daemon answers a connect; a stale file refuses it. *)
+       let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       match Unix.connect probe (Unix.ADDR_UNIX path) with
+       | () ->
+         Unix.close probe;
+         Core.Error.bad_input "socket %s is already being served" path
+       | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+         ->
+         Unix.close probe;
+         Sys.remove path
+       | exception e ->
+         (try Unix.close probe with _ -> ());
+         raise e
+     end;
+     Unix.bind sock (Unix.ADDR_UNIX path);
+     Unix.listen sock 64
+   with e ->
+     (try Unix.close sock with _ -> ());
+     raise e);
+  sock
+
+let config_of_options opts ~cancel ~admission =
+  {
+    cache = Cache.create ~capacity:opts.cache_capacity;
+    ceiling_nodes = opts.opt_ceiling_nodes;
+    ceiling_timeout = opts.opt_ceiling_timeout;
+    default_nodes = opts.opt_default_nodes;
+    default_timeout = opts.opt_default_timeout;
+    cancel;
+    max_frame_bytes = opts.opt_max_frame_bytes;
+    admit =
+      (fun () ->
+        match admission with
+        | Some adm -> Admission.admit adm
+        | None -> `Go);
+    release =
+      (fun () ->
+        match admission with Some adm -> Admission.release adm | None -> ());
+  }
+
+let run_stdio cfg ~shutdown =
+  let rec loop () =
+    if !shutdown then ()
+    else
+      match In_channel.input_line In_channel.stdin with
+      | None -> ()
+      | Some frame ->
+        if String.trim frame <> "" then begin
+          print_string (handle_line cfg frame);
+          print_newline ();
+          flush stdout
+        end;
+        loop ()
+  in
+  loop ();
+  0
+
+let run_socket cfg ~shutdown ~admission path =
+  let listener = bind_unix_socket path in
+  (* Self-pipe: the signal handler writes one byte so the select below
+     wakes even when the signal lands on some worker thread. *)
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  let reg = { reg_lock = Mutex.create (); conns = []; next_id = 0 } in
+  let threads = ref [] in
+  let note_shutdown () =
+    shutdown := true;
+    cfg.cancel := true;
+    try ignore (Unix.write_substring wake_w "x" 0 1) with _ -> ()
+  in
+  let previous_handlers =
+    List.map
+      (fun signal ->
+        (signal, Sys.signal signal (Sys.Signal_handle (fun _ -> note_shutdown ()))))
+      [ Sys.sigterm; Sys.sigint ]
+  in
+  let accept_loop () =
+    while not !shutdown do
+      match Unix.select [ listener; wake_r ] [] [] (-1.) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, _, _ ->
+        if List.memq listener readable && not !shutdown then begin
+          match Unix.accept ~cloexec:true listener with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | fd, _ ->
+            let id = registry_add reg fd in
+            let t =
+              Thread.create
+                (fun () ->
+                  Fun.protect
+                    ~finally:(fun () ->
+                      registry_remove reg id;
+                      try Unix.close fd with _ -> ())
+                    (fun () -> serve_connection cfg ~shutdown fd))
+                ()
+            in
+            threads := t :: !threads
+        end
+    done
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Drain: cancel in-flight budgets, release queued requests, kick
+         blocked readers, then wait for every connection thread. *)
+      shutdown := true;
+      cfg.cancel := true;
+      Option.iter Admission.wake_all admission;
+      registry_shutdown_all reg;
+      List.iter Thread.join !threads;
+      List.iter
+        (fun (signal, behavior) -> try Sys.set_signal signal behavior with _ -> ())
+        previous_handlers;
+      (try Unix.close listener with _ -> ());
+      (try Unix.close wake_r with _ -> ());
+      (try Unix.close wake_w with _ -> ());
+      try Sys.remove path with _ -> ())
+    accept_loop;
+  0
+
+let run opts =
+  Fault.arm_from_env ();
+  (* A worker hitting a closed peer must get EPIPE (handled per
+     connection), not a process-killing SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let shutdown = ref false in
+  let cancel = ref false in
+  match opts.mode with
+  | Stdio ->
+    let cfg = config_of_options opts ~cancel ~admission:None in
+    let note_shutdown () =
+      shutdown := true;
+      cancel := true
+    in
+    List.iter
+      (fun signal ->
+        try
+          ignore (Sys.signal signal (Sys.Signal_handle (fun _ -> note_shutdown ())))
+        with Invalid_argument _ -> ())
+      [ Sys.sigterm; Sys.sigint ];
+    run_stdio cfg ~shutdown
+  | Unix_socket path ->
+    let admission =
+      Admission.create ~max_inflight:opts.max_inflight ~max_queue:opts.max_queue
+        ~shutdown
+    in
+    let cfg = config_of_options opts ~cancel ~admission:(Some admission) in
+    run_socket cfg ~shutdown ~admission:(Some admission) path

@@ -1,0 +1,72 @@
+(** The long-lived solving daemon: a JSONL request loop that is
+    crash-proof by construction.
+
+    {2 Isolation boundary}
+
+    Every frame is processed by {!handle_line}, which {e never raises}
+    and always returns exactly one response line: any exception — a JSON
+    or structure-text parse error, [Budget.Exhausted], a certificate
+    rejection, an injected {!Fault.Injected}, or something genuinely
+    unforeseen — is caught at the request boundary, classified through
+    {!Core.Error.of_exn} into the documented taxonomy, and rendered as a
+    typed error response (codes 2/3/4/5 mirroring the CLI exit codes).
+    If even response serialization fails (the [respond] fault site), a
+    pre-rendered constant line is emitted.  The loop around the handler
+    therefore cannot die on request content.
+
+    {2 Budgets, admission, shutdown}
+
+    Each request solves under its own {!Core.Budget} built from the
+    request's [max_nodes]/[timeout] clamped by the server-wide ceilings,
+    and sharing the server's cancel flag: SIGINT/SIGTERM set the flag, so
+    in-flight solves unwind promptly with [Budget.Exhausted Cancelled]
+    (answered as typed responses — the drain), queued requests are
+    released, and the loop exits cleanly.  Admission control bounds
+    concurrent solves ([max_inflight]) and the backpressure queue
+    ([max_queue]); beyond both, requests are shed with a typed [shed]
+    response instead of accumulating unbounded work. *)
+
+type config = {
+  cache : Cache.t;
+  ceiling_nodes : int option;  (** Server-wide cap on per-request nodes. *)
+  ceiling_timeout : float option;  (** Cap on per-request seconds. *)
+  default_nodes : int option;  (** Used when a request names no budget. *)
+  default_timeout : float option;
+  cancel : bool ref;  (** Shared by every request budget. *)
+  max_frame_bytes : int;  (** Frames longer than this are rejected. *)
+  admit : unit -> [ `Go | `Shed of string | `Cancelled ];
+      (** Admission decision for verdict-bearing ops; [`Go] must be
+          paired with a later [release]. *)
+  release : unit -> unit;
+}
+
+val default_config : ?cache_capacity:int -> unit -> config
+(** Unlimited budgets, 1 MiB frames, admit-everything admission; the
+    building block for tests and for {!run}'s real config. *)
+
+val handle_line : config -> string -> string
+(** Process one frame (without its newline); returns one response line
+    (without a newline).  Total: never raises, never blocks on anything
+    but the solve itself. *)
+
+type socket_mode = Unix_socket of string | Stdio
+
+type options = {
+  mode : socket_mode;
+  max_inflight : int;
+  max_queue : int;
+  cache_capacity : int;
+  opt_ceiling_nodes : int option;
+  opt_ceiling_timeout : float option;
+  opt_default_nodes : int option;
+  opt_default_timeout : float option;
+  opt_max_frame_bytes : int;
+}
+
+val run : options -> int
+(** Run the daemon until SIGINT/SIGTERM (or, under [Stdio], end of
+    input); returns the process exit code (0 on clean shutdown).  Arms
+    fault injection from [CQCSP_FAULT] on entry.
+    @raise Core.Error.Error on startup failures (socket in use, bad
+    fault spec) — startup is {e outside} the isolation boundary on
+    purpose: a misconfigured daemon must fail loudly, not serve. *)

@@ -128,16 +128,29 @@ let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
 
 let timers : (string, (float ref * int ref)) Hashtbl.t = Hashtbl.create 16
 
+(* The tables, span stack and sink emissions are process-global; the
+   serve daemon bumps them from concurrent request threads.  Every
+   mutation and emission runs under this lock.  The telemetry-off fast
+   path (no sink installed) never touches the lock, so disabled overhead
+   stays the single branch measured by bench E18. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let enabled () = !sink <> None
 
 let set_sink s =
-  sink := s;
-  stack := []
+  locked (fun () ->
+      sink := s;
+      stack := [])
 
 let reset () =
-  Hashtbl.reset counters;
-  Hashtbl.reset timers;
-  stack := []
+  locked (fun () ->
+      Hashtbl.reset counters;
+      Hashtbl.reset timers;
+      stack := [])
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                             *)
@@ -147,20 +160,23 @@ let count name n =
   match !sink with
   | None -> ()
   | Some _ ->
-    (match Hashtbl.find_opt counters name with
-    | Some total -> total := !total + n
-    | None -> Hashtbl.replace counters name (ref n));
-    (match !stack with
-    | [] -> ()
-    | span :: _ ->
-      Hashtbl.replace span.sdeltas name
-        (n + Option.value ~default:0 (Hashtbl.find_opt span.sdeltas name)))
+    locked (fun () ->
+        (match Hashtbl.find_opt counters name with
+        | Some total -> total := !total + n
+        | None -> Hashtbl.replace counters name (ref n));
+        match !stack with
+        | [] -> ()
+        | span :: _ ->
+          Hashtbl.replace span.sdeltas name
+            (n + Option.value ~default:0 (Hashtbl.find_opt span.sdeltas name)))
 
 let counter_total name =
-  match Hashtbl.find_opt counters name with Some total -> !total | None -> 0
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with Some total -> !total | None -> 0)
 
 let counter_totals () =
-  Hashtbl.fold (fun name total acc -> (name, !total) :: acc) counters []
+  locked (fun () ->
+      Hashtbl.fold (fun name total acc -> (name, !total) :: acc) counters [])
   |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
@@ -168,11 +184,12 @@ let counter_totals () =
 (* ------------------------------------------------------------------ *)
 
 let add_timing name seconds =
-  match Hashtbl.find_opt timers name with
-  | Some (total, invocations) ->
-    total := !total +. seconds;
-    incr invocations
-  | None -> Hashtbl.replace timers name (ref seconds, ref 1)
+  locked (fun () ->
+      match Hashtbl.find_opt timers name with
+      | Some (total, invocations) ->
+        total := !total +. seconds;
+        incr invocations
+      | None -> Hashtbl.replace timers name (ref seconds, ref 1))
 
 let time name f =
   match !sink with
@@ -182,9 +199,10 @@ let time name f =
     Fun.protect ~finally:(fun () -> add_timing name (Unix.gettimeofday () -. t0)) f
 
 let timer_totals () =
-  Hashtbl.fold
-    (fun name (total, invocations) acc -> (name, (!total, !invocations)) :: acc)
-    timers []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name (total, invocations) acc -> (name, (!total, !invocations)) :: acc)
+        timers [])
   |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
@@ -198,7 +216,7 @@ let begin_span name =
     let span =
       { sname = name; sstart = Unix.gettimeofday (); sdeltas = Hashtbl.create 8 }
     in
-    stack := span :: !stack;
+    locked (fun () -> stack := span :: !stack);
     Some span
 
 let deltas_sorted span =
@@ -208,6 +226,7 @@ let end_span ?(fields = []) handle =
   match (handle, !sink) with
   | None, _ | _, None -> []
   | Some span, Some s ->
+    locked @@ fun () ->
     if not (List.memq span !stack) then []
     else begin
       (* Discard inner spans an exception unwound past. *)
@@ -254,10 +273,12 @@ let flush () =
   match !sink with
   | None -> ()
   | Some s ->
-    List.iter
-      (fun (name, total) -> s.emit (Counter { name; total }))
-      (counter_totals ());
-    List.iter
-      (fun (name, (seconds, count)) -> s.emit (Timer { name; seconds; count }))
-      (timer_totals ());
-    s.flush ()
+    let counter_rows = counter_totals () and timer_rows = timer_totals () in
+    locked (fun () ->
+        List.iter
+          (fun (name, total) -> s.emit (Counter { name; total }))
+          counter_rows;
+        List.iter
+          (fun (name, (seconds, count)) -> s.emit (Timer { name; seconds; count }))
+          timer_rows;
+        s.flush ())

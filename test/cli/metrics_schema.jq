@@ -21,8 +21,9 @@ and ([.spans[] | select(.name == "solver.attempt")
         and (.fields.outcome | type == "string")]
      | all)
 # At most one top-level solve span per solve/contain run (selfcheck
-# replays the solver once per generated instance).
-and (if .command == "selfcheck" then true
+# replays the solver once per generated instance; serve runs one per
+# request).
+and (if .command == "selfcheck" or .command == "serve" then true
      else [.spans[] | select(.name == "solver.solve")] | length <= 1
      end)
 and (.counters | type == "array")

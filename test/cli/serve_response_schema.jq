@@ -1,0 +1,27 @@
+# Schema for `cqc serve` response lines, enforced in CI with
+#   jq -e -s -f test/cli/serve_response_schema.jq responses.jsonl
+# (-s slurps the JSONL stream into one array; -e exits nonzero unless
+# the filter yields true).  Every response — including those produced
+# under injected faults — must carry the typed shape documented in
+# DESIGN.md section 13: an echoed id, a status, and per-status fields
+# with codes mirroring the CLI exit codes.
+
+[.[]
+ | (has("id"))
+   and ((.status == "ok"
+         and (.op == "ping" or .op == "stats"
+              or ((.op == "solve" or .op == "contain")
+                  and (.verdict == "sat" or .verdict == "unsat"
+                       or .verdict == "unknown")
+                  and (.cache == "hit" or .cache == "miss"
+                       or .cache == "poisoned" or .cache == "none")
+                  and (.nodes | type == "number")
+                  and (.elapsed_ms | type == "number")
+                  and (.code == 0 or .code == 4))))
+        or (.status == "error"
+            and (.error == "bad_input" or .error == "unsupported"
+                 or .error == "budget_exhausted" or .error == "internal")
+            and (.code == 2 or .code == 3 or .code == 4 or .code == 5)
+            and (.message | type == "string"))
+        or (.status == "shed" and (.message | type == "string")))]
+| all

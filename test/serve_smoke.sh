@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# CI smoke test for the serve daemon (DESIGN.md section 13):
+#
+#   1. clean phase   — >=240 concurrent mixed requests from 20 parallel
+#                      clients; every response line must satisfy
+#                      test/cli/serve_response_schema.jq, the verdicts on
+#                      the known instances must be right, and the
+#                      template cache must record hits;
+#   2. chaos phase   — the same load with every fault site armed via
+#                      CQCSP_FAULT; responses must STILL all be typed
+#                      (injected faults become error responses, never
+#                      crashes);
+#   3. both daemons must drain and exit 0 on SIGTERM, and the clean
+#      daemon's --metrics-json document must pass the metrics schema
+#      with serve.cache.hit > 0.
+#
+# Usage: test/serve_smoke.sh [path/to/cqc.exe]   (run from the repo root;
+# needs jq)
+set -euo pipefail
+
+BIN=${1:-_build/default/bin/cqc.exe}
+RESPONSE_SCHEMA=test/cli/serve_response_schema.jq
+METRICS_SCHEMA=test/cli/metrics_schema.jq
+CLIENTS=20
+FRAMES_PER_CLIENT=12
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"; [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+
+# One client's worth of mixed frames: correct requests of every op (with
+# repeated templates so the cache is exercised), a starved solve, a
+# malformed frame and an unknown op.
+make_frames() {
+  local base=$1
+  cat <<EOF
+{"id":$((base+0)),"op":"ping"}
+{"id":$((base+1)),"op":"solve","source":"size 2\nE 0 1\nE 1 0\n","target":"size 2\nE 0 1\nE 1 0\n"}
+{"id":$((base+2)),"op":"solve","source":"size 3\nE 0 1\nE 1 2\nE 2 0\n","target":"size 2\nE 0 1\nE 1 0\n","certify":true}
+{"id":$((base+3)),"op":"contain","q1":"Q(X) :- E(X,Y), E(Y,Z).","q2":"Q(X) :- E(X,Y)."}
+{"id":$((base+4)),"op":"stats"}
+{"id":$((base+5)),"op":"solve","source":"size 3\nE 0 1\nE 1 2\nE 2 0\n","target":"size 2\nE 0 1\nE 1 0\n","max_nodes":1}
+{"id":$((base+6)),"op":"solve","source":"size 2\nE 0 zebra\n","target":"size 2\nE 0 1\nE 1 0\n"}
+this is not json
+{"op":"launch"}
+{"id":$((base+9)),"op":"solve","source":"size 2\nE 0 1\nE 1 0\n","target":"size 2\nE 0 1\nE 1 0\n"}
+{"id":$((base+10)),"op":"solve","source":"size 3\nE 0 1\nE 1 2\nE 2 0\n","target":"size 2\nE 0 1\nE 1 0\n"}
+{"id":$((base+11)),"op":"ping"}
+EOF
+}
+
+start_daemon() { # $1 = socket, $2 = metrics json ("" for none), rest = env
+  local sock=$1 metrics=$2
+  shift 2
+  local args=(serve --socket "$sock" --max-inflight 4 --max-queue 32)
+  [ -n "$metrics" ] && args+=(--metrics-json "$metrics")
+  env "$@" "$BIN" "${args[@]}" 2>"$TMP/serve.stderr" &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && return 0
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$TMP/serve.stderr" >&2; fail "daemon died on startup"; }
+    sleep 0.1
+  done
+  fail "daemon never bound $sock"
+}
+
+drive_load() { # $1 = socket, $2 = output dir
+  local sock=$1 out=$2
+  mkdir -p "$out"
+  local pids=()
+  for c in $(seq 1 "$CLIENTS"); do
+    make_frames $((c * 1000)) | "$BIN" request --socket "$sock" >"$out/client_$c.jsonl" &
+    pids+=($!)
+  done
+  for pid in "${pids[@]}"; do
+    wait "$pid" || fail "a request client failed"
+  done
+  cat "$out"/client_*.jsonl >"$out/all.jsonl"
+}
+
+check_responses() { # $1 = responses file, $2 = phase name
+  local all=$1 phase=$2 expected=$((CLIENTS * FRAMES_PER_CLIENT))
+  local got
+  got=$(wc -l <"$all")
+  [ "$got" -eq "$expected" ] || fail "$phase: expected $expected responses, got $got"
+  jq -e -s -f "$RESPONSE_SCHEMA" "$all" >/dev/null \
+    || fail "$phase: a response violates $RESPONSE_SCHEMA"
+}
+
+stop_daemon() { # $1 = phase name
+  kill -TERM "$SERVE_PID"
+  local code=0
+  wait "$SERVE_PID" || code=$?
+  SERVE_PID=
+  [ "$code" -eq 0 ] || fail "$1: daemon exited $code on SIGTERM (wanted 0)"
+}
+
+command -v jq >/dev/null || fail "jq not found"
+[ -x "$BIN" ] || fail "$BIN not built"
+
+# --- Phase 1: clean daemon --------------------------------------------
+start_daemon "$TMP/clean.sock" "$TMP/metrics.json"
+drive_load "$TMP/clean.sock" "$TMP/clean"
+check_responses "$TMP/clean/all.jsonl" "clean"
+
+# Verdict spot checks: K2 -> K2 is sat, triangle -> K2 is unsat (except
+# the max_nodes:1 frames, which must be unknown with code 4).
+jq -e -s '([.[] | select(.status == "ok" and .op == "solve")] | length > 0) and
+          ([.[] | select(.id != null and (.id % 1000 == 1 or .id % 1000 == 9)) | .verdict == "sat"] | all) and
+          ([.[] | select(.id != null and (.id % 1000 == 2 or .id % 1000 == 10)) | .verdict == "unsat"] | all) and
+          ([.[] | select(.id != null and .id % 1000 == 5) | .verdict == "unknown" and .code == 4] | all)' \
+  "$TMP/clean/all.jsonl" >/dev/null || fail "clean: verdict spot checks"
+# The bad-structure and malformed frames must come back as typed errors.
+jq -e -s '([.[] | select(.id != null and .id % 1000 == 6) | .status == "error" and .error == "bad_input"] | all) and
+          ([.[] | select(.status == "error")] | length >= 3)' \
+  "$TMP/clean/all.jsonl" >/dev/null || fail "clean: typed error checks"
+# Templates repeat across clients, so the cache must be hitting.
+jq -e -s '[.[] | select(.cache == "hit")] | length > 0' \
+  "$TMP/clean/all.jsonl" >/dev/null || fail "clean: no cache hits observed"
+
+stop_daemon "clean"
+[ -f "$TMP/metrics.json" ] || fail "clean: daemon wrote no metrics document"
+jq -e -f "$METRICS_SCHEMA" "$TMP/metrics.json" >/dev/null \
+  || fail "clean: metrics document violates $METRICS_SCHEMA"
+jq -e '[.counters[] | select(.name == "serve.cache.hit") | .total > 0] | any' \
+  "$TMP/metrics.json" >/dev/null || fail "clean: serve.cache.hit not positive in metrics"
+
+# --- Phase 2: every fault site armed ----------------------------------
+start_daemon "$TMP/chaos.sock" "" CQCSP_FAULT=all:42:0.08
+drive_load "$TMP/chaos.sock" "$TMP/chaos"
+check_responses "$TMP/chaos/all.jsonl" "chaos"
+# Chaos must actually have injected something: with every site armed at
+# 8%, some responses report an injected internal fault.
+jq -e -s '[.[] | select(.status == "error" and (.message | contains("injected")))] | length > 0' \
+  "$TMP/chaos/all.jsonl" >/dev/null || fail "chaos: no injected faults surfaced"
+stop_daemon "chaos"
+
+echo "serve_smoke: OK ($((CLIENTS * FRAMES_PER_CLIENT)) clean + $((CLIENTS * FRAMES_PER_CLIENT)) chaos responses, all typed; graceful drains)"
