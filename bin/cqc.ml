@@ -292,6 +292,10 @@ let exits =
   :: Cmd.Exit.info 4
        ~doc:"when every route exhausted its budget; the answer is unknown, not wrong."
   :: Cmd.Exit.info 5 ~doc:"on an internal error (a bug in this code base)."
+  :: Cmd.Exit.info 6
+       ~doc:
+         "when a sandboxed worker process died (OOM kill, rlimit, watchdog \
+          timeout, solver crash) and its degraded retry died too."
   :: List.filter (fun i -> Cmd.Exit.info_code i >= 124) Cmd.Exit.defaults
 
 (* ------------------------------------------------------------------ *)
@@ -633,8 +637,8 @@ let selfcheck_cmd =
 (* ------------------------------------------------------------------ *)
 
 let serve socket stdio max_inflight max_queue cache_size ceiling_nodes
-    ceiling_timeout default_nodes default_timeout max_frame_bytes metrics_json
-    trace_out =
+    ceiling_timeout default_nodes default_timeout max_frame_bytes sandbox
+    sandbox_mem sandbox_cpu sandbox_wall spool metrics_json trace_out =
   run (fun () ->
       with_telemetry ~command:"serve" ~metrics_json ~trace_out @@ fun () ->
       let mode =
@@ -646,10 +650,19 @@ let serve socket stdio max_inflight max_queue cache_size ceiling_nodes
         | false, None ->
           Core.Error.bad_input "serve needs --socket PATH or --stdio"
       in
+      (* Sandboxing defaults on for the socket daemon (long-lived, worth a
+         fork per solve) and off for stdio sessions (often a test harness
+         inspecting in-process state); either can be forced. *)
+      let sandbox =
+        match sandbox with
+        | Some choice -> choice
+        | None -> ( match mode with Serve.Server.Stdio -> false | _ -> true)
+      in
       (match mode with
       | Serve.Server.Unix_socket path ->
-        Format.eprintf "cqc serve: listening on %s (SIGTERM drains and exits)@."
-          path
+        Format.eprintf
+          "cqc serve: listening on %s (%s; SIGTERM drains and exits)@." path
+          (if sandbox then "sandboxed workers" else "in-process solves")
       | Serve.Server.Stdio -> ());
       Serve.Server.run
         {
@@ -662,6 +675,13 @@ let serve socket stdio max_inflight max_queue cache_size ceiling_nodes
           opt_default_nodes = default_nodes;
           opt_default_timeout = default_timeout;
           opt_max_frame_bytes = max_frame_bytes;
+          opt_sandbox = sandbox;
+          opt_sandbox_mem_bytes =
+            (match sandbox_mem with 0 -> None | mb -> Some (mb * 1024 * 1024));
+          opt_sandbox_cpu_seconds =
+            (match sandbox_cpu with 0 -> None | s -> Some s);
+          opt_sandbox_wall_seconds = sandbox_wall;
+          opt_spool_dir = spool;
         })
 
 let serve_cmd =
@@ -742,6 +762,59 @@ let serve_cmd =
             "Reject request frames longer than $(docv) bytes with a typed \
              error instead of buffering them.")
   in
+  let sandbox =
+    Arg.(
+      value
+      & vflag None
+          [
+            ( Some true,
+              info [ "sandbox" ]
+                ~doc:
+                  "Run every solve in a forked worker process under rlimits \
+                   and a wall-clock watchdog (the default with --socket): a \
+                   worker death becomes a typed worker_crash response (code \
+                   6) after one degraded retry, never a daemon death." );
+            ( Some false,
+              info [ "no-sandbox" ]
+                ~doc:
+                  "Solve in-process (the default with --stdio); cheaper per \
+                   request, but a solver crash is a daemon crash." );
+          ])
+  in
+  let sandbox_mem =
+    Arg.(
+      value & opt nonnegative_int 1024
+      & info [ "sandbox-mem" ] ~docv:"MB"
+          ~doc:
+            "Worker address-space ceiling (RLIMIT_AS) in mebibytes; 0 \
+             inherits the parent's limit.")
+  in
+  let sandbox_cpu =
+    Arg.(
+      value & opt nonnegative_int 20
+      & info [ "sandbox-cpu" ] ~docv:"SECONDS"
+          ~doc:
+            "Worker CPU-time ceiling (RLIMIT_CPU) in whole seconds; 0 \
+             inherits the parent's limit.")
+  in
+  let sandbox_wall =
+    Arg.(
+      value & opt positive_float 30.
+      & info [ "sandbox-wall" ] ~docv:"SECONDS"
+          ~doc:
+            "Parent-side wall-clock watchdog: a worker silent for $(docv) \
+             seconds is killed and classified as a watchdog timeout.")
+  in
+  let spool =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:
+            "Spool directory for crash-dump artifacts: when a worker dies \
+             twice on a request, a self-contained reproducer (replayable \
+             with 'cqc triage') is written here.")
+  in
   Cmd.v
     (Cmd.info "serve" ~exits
        ~doc:"Run the long-lived JSONL solving daemon (crash-proof request loop)"
@@ -759,51 +832,85 @@ let serve_cmd =
               poisoning on build failure.  SIGINT/SIGTERM drain in-flight \
               work through budget cancellation and exit 0.";
            `P
+             "With sandboxed workers (the --socket default), each solve runs \
+              in a forked child capped by RLIMIT_AS/RLIMIT_CPU and a \
+              parent-side watchdog; a child death of any kind — OOM kill, \
+              rlimit, timeout, segfault, half-written result — is classified, \
+              retried once with a degraded budget, and finally answered as a \
+              typed worker_crash response (code 6), optionally spooling a \
+              crash-dump reproducer for 'cqc triage'.";
+           `P
              "Set CQCSP_FAULT=site:seed:rate (sites: parse, admit, cache, \
-              solve, respond, all) to arm deterministic fault injection for \
-              chaos testing.";
+              solve, respond, worker, all) to arm deterministic fault \
+              injection for chaos testing; the worker site SIGKILLs freshly \
+              forked workers.";
          ])
     Term.(
       const serve $ socket $ stdio $ max_inflight $ max_queue $ cache_size
       $ ceiling_nodes $ ceiling_timeout $ default_nodes $ default_timeout
-      $ max_frame_bytes $ metrics_json_term $ trace_out_term)
+      $ max_frame_bytes $ sandbox $ sandbox_mem $ sandbox_cpu $ sandbox_wall
+      $ spool $ metrics_json_term $ trace_out_term)
 
 (* request: a thin JSONL client for the daemon, used by the smoke tests
    and handy for ops one-liners. *)
-let request socket frames =
+let request socket retry frames =
   run (fun () ->
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Fun.protect
-        ~finally:(fun () -> try Unix.close fd with _ -> ())
-        (fun () ->
-          Unix.connect fd (Unix.ADDR_UNIX socket);
-          let send line =
-            let line = line ^ "\n" in
-            let rec go off len =
-              if len > 0 then begin
-                let n = Unix.write_substring fd line off len in
-                go (off + n) (len - n)
-              end
+      (* Frames read from stdin must be buffered once up front: a retried
+         attempt replays them all, and stdin cannot be rewound. *)
+      let frames =
+        match frames with
+        | [] -> List.rev (In_channel.fold_lines (fun acc l -> l :: acc) [] In_channel.stdin)
+        | frames -> frames
+      in
+      let attempt printed =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with _ -> ())
+          (fun () ->
+            Unix.connect fd (Unix.ADDR_UNIX socket);
+            let send line =
+              let line = line ^ "\n" in
+              let rec go off len =
+                if len > 0 then begin
+                  let n = Unix.write_substring fd line off len in
+                  go (off + n) (len - n)
+                end
+              in
+              go 0 (String.length line)
             in
-            go 0 (String.length line)
-          in
-          (match frames with
-          | [] ->
-            In_channel.fold_lines (fun () line -> send line) () In_channel.stdin
-          | frames -> List.iter send frames);
-          Unix.shutdown fd Unix.SHUTDOWN_SEND;
-          let chunk = Bytes.create 8192 in
-          let rec copy () =
-            match Unix.read fd chunk 0 (Bytes.length chunk) with
-            | 0 -> ()
-            | n ->
-              print_string (Bytes.sub_string chunk 0 n);
-              copy ()
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> copy ()
-          in
-          copy ();
-          flush stdout;
-          0))
+            List.iter send frames;
+            Unix.shutdown fd Unix.SHUTDOWN_SEND;
+            let chunk = Bytes.create 8192 in
+            let rec copy () =
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> ()
+              | n ->
+                printed := true;
+                print_string (Bytes.sub_string chunk 0 n);
+                copy ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> copy ()
+            in
+            copy ();
+            flush stdout;
+            0)
+      in
+      (* Exponential backoff with jitter against a daemon that is still
+         binding its socket (refused / not yet created) or restarting
+         (reset).  Never retry after response bytes reached stdout — a
+         replay would duplicate them. *)
+      let rng = Random.State.make_self_init () in
+      let rec go tries_left delay =
+        let printed = ref false in
+        match attempt printed with
+        | code -> code
+        | exception
+            Unix.Unix_error
+              ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET), _, _)
+          when tries_left > 0 && not !printed ->
+          Unix.sleepf (delay +. Random.State.float rng (delay /. 2.));
+          go (tries_left - 1) (Float.min 2. (2. *. delay))
+      in
+      go retry 0.05)
 
 let request_cmd =
   let socket =
@@ -811,6 +918,16 @@ let request_cmd =
       required
       & opt (some string) None
       & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's Unix-domain socket.")
+  in
+  let retry =
+    Arg.(
+      value & opt nonnegative_int 0
+      & info [ "retry" ] ~docv:"N"
+          ~doc:
+            "Retry a refused, missing or reset connection up to $(docv) \
+             times with exponential backoff and jitter (useful while the \
+             daemon is still starting); no retry once any response bytes \
+             have arrived.")
   in
   let frames =
     Arg.(
@@ -823,7 +940,218 @@ let request_cmd =
   Cmd.v
     (Cmd.info "request" ~exits
        ~doc:"Send JSONL requests to a running cqc serve daemon")
-    Term.(const request $ socket $ frames)
+    Term.(const request $ socket $ retry $ frames)
+
+(* ------------------------------------------------------------------ *)
+(* triage: replay and minimize a crash dump                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_structure_text ~what text =
+  match Relational.Structure_text.parse text with
+  | s -> s
+  | exception Relational.Structure_text.Parse_error (pos, msg) ->
+    Core.Error.bad_input "dump %s structure at %s: %s" what
+      (Relational.Source_position.to_string pos)
+      msg
+
+(* Replace a field of the original request object, preserving everything
+   else (id, budgets, certify) so the minimized line replays under the
+   same conditions. *)
+let set_field key v = function
+  | Serve.Json.Obj fields ->
+    Serve.Json.Obj
+      (List.map (fun (k, x) -> if k = key then (k, v) else (k, x)) fields)
+  | j -> j
+
+let pct_reduced ~before ~after =
+  if before <= 0 then 0.
+  else 100. *. float_of_int (before - after) /. float_of_int before
+
+let triage dump_path out fuel =
+  run (fun () ->
+      let d =
+        match Serve.Dump.read dump_path with
+        | Ok d -> d
+        | Error msg -> Core.Error.bad_input "%s" msg
+      in
+      (* Re-arm the synthetic-crash hook exactly as at crash time; the
+         chaos spec (CQCSP_FAULT) is deliberately NOT re-armed — a random
+         worker kill is the environment's fault, not the request's, and
+         re-arming it would make every replay signature a coin flip. *)
+      (match d.Serve.Dump.abort_spec with
+      | Some spec -> Unix.putenv "CQCSP_TEST_ABORT" spec
+      | None -> ( try Unix.putenv "CQCSP_TEST_ABORT" "" with _ -> ()));
+      let j =
+        match Serve.Json.parse d.Serve.Dump.line with
+        | j -> j
+        | exception Serve.Json.Parse_error msg ->
+          Core.Error.bad_input "dump request line: %s" msg
+      in
+      let req =
+        match Serve.Protocol.request_of_json j with
+        | Ok r -> r
+        | Error msg -> Core.Error.bad_input "dump request line: %s" msg
+      in
+      let limits =
+        {
+          Serve.Worker.mem_bytes = d.Serve.Dump.mem_bytes;
+          cpu_seconds = d.Serve.Dump.cpu_seconds;
+          wall_seconds = d.Serve.Dump.wall_seconds;
+        }
+      in
+      let target = Core.Error.crash_class_name d.Serve.Dump.crash in
+      Format.eprintf "replaying %s (crash signature: %s, wall %.1fs)@."
+        dump_path target d.Serve.Dump.wall_seconds;
+      let fuel = ref fuel in
+      (* One sandboxed replay; its signature is the crash class, or None
+         when the request completes (any typed non-crash response counts
+         as completing).  Fuel exhaustion reads as "no signature", which
+         freezes the minimizer at its current best — conservative. *)
+      let signature compute =
+        if !fuel <= 0 then None
+        else begin
+          decr fuel;
+          match Serve.Worker.execute ~limits ~id:Serve.Json.Null compute with
+          | Error (crash, _) -> Some (Core.Error.crash_class_name crash)
+          | Ok j -> (
+            match Serve.Json.member "error" j with
+            | Some (Serve.Json.String "worker_crash") ->
+              Serve.Json.string_member "crash" j
+            | _ -> None)
+        end
+      in
+      let budget () =
+        Core.Budget.create ?max_nodes:req.Serve.Protocol.max_nodes
+          ?timeout:req.Serve.Protocol.timeout ()
+      in
+      let require field = function
+        | Some v -> v
+        | None -> Core.Error.bad_input "dump request is missing %S" field
+      in
+      let get field = Serve.Json.string_member field j in
+      let check_reproduces reproduced =
+        if not reproduced then
+          Core.Error.unsupported
+            "the dump's %s signature did not reproduce in replay (fixed bug, \
+             different machine, or missing CQCSP_TEST_ABORT state)"
+            target
+      in
+      match req.Serve.Protocol.op with
+      | Serve.Protocol.Ping | Serve.Protocol.Stats ->
+        Core.Error.bad_input "dump request op %S carries nothing to minimize"
+          (Serve.Protocol.op_name req.Serve.Protocol.op)
+      | Serve.Protocol.Solve ->
+        let a = parse_structure_text ~what:"source" (require "source" (get "source")) in
+        let b = parse_structure_text ~what:"target" (require "target" (get "target")) in
+        let compute a b () =
+          Serve.Worker.test_abort_hook a;
+          ignore (Core.Solver.solve ~budget:(budget ()) a b);
+          Serve.Json.Null
+        in
+        let crashes a b = signature (compute a b) = Some target in
+        check_reproduces (crashes a b);
+        let a' = Shrink.structure ~keeps:(fun a' -> crashes a' b) a in
+        let b' = Shrink.structure ~keeps:(fun b' -> crashes a' b') b in
+        let t0 = Relational.Structure.total_tuples a + Relational.Structure.total_tuples b in
+        let t1 = Relational.Structure.total_tuples a' + Relational.Structure.total_tuples b' in
+        let line' =
+          Serve.Json.to_string
+            (set_field "target"
+               (Serve.Json.String (Relational.Structure_text.print b'))
+               (set_field "source"
+                  (Serve.Json.String (Relational.Structure_text.print a'))
+                  j))
+        in
+        let min_dump = { d with Serve.Dump.line = line' } in
+        Out_channel.with_open_text out (fun oc ->
+            output_string oc (Serve.Json.to_string (Serve.Dump.to_json min_dump));
+            output_char oc '\n');
+        Format.printf "signature: %s (reproduced)@." target;
+        Format.printf "tuples: %d -> %d@." t0 t1;
+        Format.printf "universe: %d+%d -> %d+%d@."
+          (Relational.Structure.size a) (Relational.Structure.size b)
+          (Relational.Structure.size a') (Relational.Structure.size b');
+        Format.printf "reduction: %.0f%%@." (pct_reduced ~before:t0 ~after:t1);
+        Format.printf "wrote %s@." out;
+        0
+      | Serve.Protocol.Contain ->
+        let q1 = parse_query (require "q1" (get "q1")) in
+        let q2 = parse_query (require "q2" (get "q2")) in
+        let compute q1 q2 () =
+          let a, b = Core.Solver.containment_instance q1 q2 in
+          Serve.Worker.test_abort_hook a;
+          ignore (Core.Solver.solve ~budget:(budget ()) a b);
+          Serve.Json.Null
+        in
+        let crashes q1 q2 =
+          match signature (compute q1 q2) with
+          | s -> s = Some target
+          | exception Invalid_argument _ -> false
+        in
+        check_reproduces (crashes q1 q2);
+        let q1' = Shrink.query ~keeps:(fun q -> crashes q q2) q1 in
+        let q2' = Shrink.query ~keeps:(fun q -> crashes q1' q) q2 in
+        let a0 = Cq.Query.atom_count q1 + Cq.Query.atom_count q2 in
+        let a1 = Cq.Query.atom_count q1' + Cq.Query.atom_count q2' in
+        let line' =
+          Serve.Json.to_string
+            (set_field "q2"
+               (Serve.Json.String (Cq.Query.to_string q2'))
+               (set_field "q1" (Serve.Json.String (Cq.Query.to_string q1')) j))
+        in
+        let min_dump = { d with Serve.Dump.line = line' } in
+        Out_channel.with_open_text out (fun oc ->
+            output_string oc (Serve.Json.to_string (Serve.Dump.to_json min_dump));
+            output_char oc '\n');
+        Format.printf "signature: %s (reproduced)@." target;
+        Format.printf "atoms: %d -> %d@." a0 a1;
+        Format.printf "reduction: %.0f%%@." (pct_reduced ~before:a0 ~after:a1);
+        Format.printf "wrote %s@." out;
+        0)
+
+let triage_cmd =
+  let dump = Arg.(required & pos 0 (some string) None & info [] ~docv:"DUMP") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the minimized dump (default: DUMP.min.json).")
+  in
+  let fuel =
+    Arg.(
+      value & opt positive_int 400
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Cap on sandboxed replays during minimization; when spent, the \
+             smallest reproducer found so far is kept.")
+  in
+  let with_default_out dump out fuel =
+    triage dump (match out with Some o -> o | None -> dump ^ ".min.json") fuel
+  in
+  Cmd.v
+    (Cmd.info "triage" ~exits
+       ~doc:"Replay a serve crash dump and minimize its reproducer"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Reads a crash-dump artifact spooled by 'cqc serve --spool', \
+              re-runs the offending request in a fresh sandboxed worker \
+              under the dump's recorded limits, and checks that the same \
+              crash class reproduces.  It then delta-debugs the request — \
+              dropping tuples and merging universe elements of solve \
+              structures, dropping atoms and collapsing variables of \
+              containment queries — keeping only changes that preserve the \
+              crash signature, and writes the minimized dump next to the \
+              original.";
+           `P
+             "The recorded CQCSP_TEST_ABORT hook (test-synthesized crashes) \
+              is re-armed for replay; the recorded CQCSP_FAULT chaos spec is \
+              not, because random worker kills are environmental, not a \
+              property of the request.";
+         ])
+    Term.(const with_default_out $ dump $ out $ fuel)
 
 let main =
   let doc = "conjunctive-query containment and constraint satisfaction" in
@@ -846,11 +1174,13 @@ let main =
             "0 on success; 2 on malformed input (bad query/structure text, \
              violated precondition); 3 when the input is outside the requested \
              algorithm's capabilities; 4 when a budget was exhausted and the \
-             answer is unknown; 5 on an internal error.";
+             answer is unknown; 5 on an internal error; 6 when a sandboxed \
+             worker died and its retry died too.";
         ]
   in
   Cmd.group info_
     [ contain_cmd; minimize_cmd; evaluate_cmd; solve_cmd; classify_cmd; treewidth_cmd;
-      count_cmd; game_cmd; check_cmd; selfcheck_cmd; serve_cmd; request_cmd ]
+      count_cmd; game_cmd; check_cmd; selfcheck_cmd; serve_cmd; request_cmd;
+      triage_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,8 +1,55 @@
+type crash_class =
+  | Crash_signal of int
+  | Crash_oom
+  | Crash_cpu
+  | Crash_watchdog
+  | Crash_protocol
+  | Crash_exit of int
+
+let crash_class_name = function
+  | Crash_signal _ -> "signal"
+  | Crash_oom -> "oom"
+  | Crash_cpu -> "cpu"
+  | Crash_watchdog -> "watchdog"
+  | Crash_protocol -> "protocol"
+  | Crash_exit _ -> "exit"
+
+let crash_class_of_name = function
+  | "signal" -> Some (Crash_signal 0)
+  | "oom" -> Some Crash_oom
+  | "cpu" -> Some Crash_cpu
+  | "watchdog" -> Some Crash_watchdog
+  | "protocol" -> Some Crash_protocol
+  | "exit" -> Some (Crash_exit 0)
+  | _ -> None
+
+let signal_name n =
+  if n = Sys.sigsegv then "SIGSEGV"
+  else if n = Sys.sigkill then "SIGKILL"
+  else if n = Sys.sigabrt then "SIGABRT"
+  else if n = Sys.sigbus then "SIGBUS"
+  else if n = Sys.sigfpe then "SIGFPE"
+  else if n = Sys.sigill then "SIGILL"
+  else if n = Sys.sigterm then "SIGTERM"
+  else if n = Sys.sigint then "SIGINT"
+  else if n = Sys.sigxcpu then "SIGXCPU"
+  else if n = Sys.sigxfsz then "SIGXFSZ"
+  else Printf.sprintf "signal %d" n
+
+let describe_crash = function
+  | Crash_signal n -> "killed by " ^ signal_name n
+  | Crash_oom -> "out of memory under the sandbox ceiling"
+  | Crash_cpu -> "CPU rlimit exceeded"
+  | Crash_watchdog -> "wall-clock watchdog timeout"
+  | Crash_protocol -> "result-pipe protocol garbage"
+  | Crash_exit c -> Printf.sprintf "exited with code %d" c
+
 type t =
   | Bad_input of string
   | Unsupported of string
   | Budget_exhausted of Relational.Budget.exhausted_reason
   | Internal of string
+  | Worker_crash of { crash : crash_class; attempts : int; detail : string }
 
 exception Error of t
 
@@ -58,6 +105,11 @@ let to_string = function
   | Budget_exhausted reason ->
     "budget exhausted (" ^ Relational.Budget.reason_to_string reason ^ ")"
   | Internal msg -> "internal error (please report): " ^ msg
+  | Worker_crash { crash; attempts; detail } ->
+    Printf.sprintf "worker crashed (%s, %d attempt%s): %s"
+      (describe_crash crash) attempts
+      (if attempts = 1 then "" else "s")
+      detail
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 
@@ -66,9 +118,11 @@ let exit_code = function
   | Unsupported _ -> 3
   | Budget_exhausted _ -> 4
   | Internal _ -> 5
+  | Worker_crash _ -> 6
 
 let kind_name = function
   | Bad_input _ -> "bad_input"
   | Unsupported _ -> "unsupported"
   | Budget_exhausted _ -> "budget_exhausted"
   | Internal _ -> "internal"
+  | Worker_crash _ -> "worker_crash"

@@ -1,0 +1,155 @@
+type t = {
+  version : int;
+  line : string;
+  crash : Core.Error.crash_class;
+  detail : string;
+  attempts : int;
+  mem_bytes : int option;
+  cpu_seconds : int option;
+  wall_seconds : float;
+  fault_spec : string option;
+  abort_spec : string option;
+}
+
+let current_version = 1
+
+let make ~line ~crash ~detail ~attempts ~(limits : Worker.limits) =
+  {
+    version = current_version;
+    line;
+    crash;
+    detail;
+    attempts;
+    mem_bytes = limits.Worker.mem_bytes;
+    cpu_seconds = limits.Worker.cpu_seconds;
+    wall_seconds = limits.Worker.wall_seconds;
+    fault_spec = Sys.getenv_opt "CQCSP_FAULT";
+    abort_spec = Sys.getenv_opt "CQCSP_TEST_ABORT";
+  }
+
+let opt_int = function None -> Json.Null | Some i -> Json.Int i
+
+let opt_string = function None -> Json.Null | Some s -> Json.String s
+
+let to_json d =
+  Json.Obj
+    [
+      ("version", Json.Int d.version);
+      ("line", Json.String d.line);
+      ("crash", Json.String (Core.Error.crash_class_name d.crash));
+      ("detail", Json.String d.detail);
+      ("attempts", Json.Int d.attempts);
+      ("mem_bytes", opt_int d.mem_bytes);
+      ("cpu_seconds", opt_int d.cpu_seconds);
+      ("wall_seconds", Json.Float d.wall_seconds);
+      ("fault_spec", opt_string d.fault_spec);
+      ("abort_spec", opt_string d.abort_spec);
+    ]
+
+let ( let* ) = Result.bind
+
+let req_int key j =
+  match Json.int_member key j with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "missing or non-integer field %S" key)
+
+let req_string key j =
+  match Json.string_member key j with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or non-string field %S" key)
+
+let opt_int_field key j =
+  match Json.member key j with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Int i) -> Ok (Some i)
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer or null" key)
+
+let opt_string_field key j =
+  match Json.member key j with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.String s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string or null" key)
+
+let of_json j =
+  let* version = req_int "version" j in
+  let* () =
+    if version = current_version then Ok ()
+    else Error (Printf.sprintf "unsupported dump version %d" version)
+  in
+  let* line = req_string "line" j in
+  let* crash_name = req_string "crash" j in
+  let* crash =
+    match Core.Error.crash_class_of_name crash_name with
+    | Some c -> Ok c
+    | None -> Error (Printf.sprintf "unknown crash class %S" crash_name)
+  in
+  let* detail = req_string "detail" j in
+  let* attempts = req_int "attempts" j in
+  let* mem_bytes = opt_int_field "mem_bytes" j in
+  let* cpu_seconds = opt_int_field "cpu_seconds" j in
+  let* wall_seconds =
+    match Json.float_member "wall_seconds" j with
+    | Some f -> Ok f
+    | None -> Error "missing or non-numeric field \"wall_seconds\""
+  in
+  let* fault_spec = opt_string_field "fault_spec" j in
+  let* abort_spec = opt_string_field "abort_spec" j in
+  Ok
+    {
+      version;
+      line;
+      crash;
+      detail;
+      attempts;
+      mem_bytes;
+      cpu_seconds;
+      wall_seconds;
+      fault_spec;
+      abort_spec;
+    }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let counter = Atomic.make 0
+
+let write ~dir d =
+  mkdir_p dir;
+  let rec pick () =
+    let n = Atomic.fetch_and_add counter 1 in
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "crash-%d-%d-%d.json"
+           (int_of_float (Unix.time ()))
+           (Unix.getpid ()) n)
+    in
+    if Sys.file_exists path then pick () else path
+  in
+  let path = pick () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json d));
+      output_char oc '\n');
+  path
+
+let read path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error (path ^ ": truncated while reading")
+  | text -> (
+    match Json.parse ~max_bytes:(64 * 1024 * 1024) text with
+    | exception Json.Parse_error msg -> Error (path ^ ": " ^ msg)
+    | j -> (
+      match of_json j with
+      | Ok d -> Ok d
+      | Error msg -> Error (path ^ ": " ^ msg)))

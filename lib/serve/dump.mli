@@ -1,0 +1,50 @@
+(** Crash-dump artifacts: the spool half of crash triage.
+
+    When a sandboxed worker dies twice on the same request,
+    {!Server.handle_line} writes one self-contained JSON file to the
+    spool directory — everything [cqc triage] needs to replay the crash
+    offline: the original request line verbatim, the crash
+    classification, the sandbox limits in force, and the fault
+    environment ([CQCSP_FAULT], [CQCSP_TEST_ABORT]) so deterministic
+    chaos kills reproduce.  The dump is an artifact, not a log line: CI
+    uploads the spool directory on failure, and a developer can triage
+    it on a different machine. *)
+
+type t = {
+  version : int;  (** Format version, currently 1. *)
+  line : string;  (** The original request line, verbatim. *)
+  crash : Core.Error.crash_class;
+  detail : string;
+  attempts : int;
+  mem_bytes : int option;  (** Sandbox limits in force at crash time. *)
+  cpu_seconds : int option;
+  wall_seconds : float;
+  fault_spec : string option;  (** [CQCSP_FAULT] at crash time. *)
+  abort_spec : string option;  (** [CQCSP_TEST_ABORT] at crash time. *)
+}
+
+val make :
+  line:string ->
+  crash:Core.Error.crash_class ->
+  detail:string ->
+  attempts:int ->
+  limits:Worker.limits ->
+  t
+(** Captures [CQCSP_FAULT] / [CQCSP_TEST_ABORT] from the current
+    environment. *)
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+(** Typed validation; the error is a human-readable reason ("missing
+    field …", "unsupported version …"). *)
+
+val write : dir:string -> t -> string
+(** Write the dump to [dir] (created if missing) under a
+    collision-resistant name ([crash-<epoch>-<pid>-<n>.json]) and return
+    the path.  Raises [Sys_error]/[Unix.Unix_error] on an unwritable
+    spool — callers that must stay total ({!Worker.supervise}'s [dump]
+    callback) swallow that. *)
+
+val read : string -> (t, string) result
+(** Read and validate a dump file; IO failures are folded into [Error]. *)

@@ -1,6 +1,6 @@
-type site = Parse | Admit | Cache_build | Solve | Respond
+type site = Parse | Admit | Cache_build | Solve | Respond | Worker
 
-let all_sites = [ Parse; Admit; Cache_build; Solve; Respond ]
+let all_sites = [ Parse; Admit; Cache_build; Solve; Respond; Worker ]
 
 let site_name = function
   | Parse -> "parse"
@@ -8,6 +8,7 @@ let site_name = function
   | Cache_build -> "cache"
   | Solve -> "solve"
   | Respond -> "respond"
+  | Worker -> "worker"
 
 let site_of_name = function
   | "parse" -> Some Parse
@@ -15,6 +16,7 @@ let site_of_name = function
   | "cache" -> Some Cache_build
   | "solve" -> Some Solve
   | "respond" -> Some Respond
+  | "worker" -> Some Worker
   | _ -> None
 
 exception Injected of site
@@ -25,7 +27,10 @@ type arming = {
   mutable state : int64;  (* splitmix64 state, advanced per draw *)
 }
 
-let lock = Mutex.create ()
+(* A ref so a freshly forked child can install a new, unheld mutex: the
+   inherited one may have been locked by a parent thread that does not
+   exist in the child, and taking it would deadlock forever. *)
+let lock = ref (Mutex.create ())
 
 let armings : arming list ref = ref []
 
@@ -33,8 +38,11 @@ let counts : (site * int ref) list =
   List.map (fun s -> (s, ref 0)) all_sites
 
 let with_lock f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  let m = !lock in
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let relock_after_fork () = lock := Mutex.create ()
 
 (* splitmix64: tiny, seedable, and good enough for Bernoulli draws; the
    stdlib Random is shared global state we must not perturb. *)
@@ -66,7 +74,7 @@ let parse_triple spec =
           invalid_arg
             (Printf.sprintf
                "fault spec %S: unknown site %S (expected parse, admit, cache, \
-                solve, respond or all)"
+                solve, respond, worker or all)"
                spec site)
     in
     let seed =
@@ -109,7 +117,7 @@ let arm_from_env () =
 
 let armed () = with_lock (fun () -> !armings <> [])
 
-let trip site =
+let fires site =
   let fire =
     with_lock (fun () ->
         List.exists
@@ -121,10 +129,10 @@ let trip site =
              true
            end)
   in
-  if fire then begin
-    Telemetry.count "serve.fault.injected" 1;
-    raise (Injected site)
-  end
+  if fire then Telemetry.count "serve.fault.injected" 1;
+  fire
+
+let trip site = if fires site then raise (Injected site)
 
 let injected_count () =
   with_lock (fun () -> List.fold_left (fun acc (_, c) -> acc + !c) 0 counts)

@@ -21,11 +21,17 @@ type site =
   | Cache_build  (** At the start of a template-cache build. *)
   | Solve  (** Just before the solver is invoked. *)
   | Respond  (** Before a response is serialized. *)
+  | Worker
+      (** After a sandboxed worker child is forked.  Unlike the other
+          sites this one is consulted with {!fires}, not {!trip}: a
+          firing draw makes the supervisor SIGKILL the fresh child,
+          simulating an OOM kill / machine fault, instead of raising. *)
 
 val all_sites : site list
 
 val site_name : site -> string
-(** ["parse"], ["admit"], ["cache"], ["solve"], ["respond"]. *)
+(** ["parse"], ["admit"], ["cache"], ["solve"], ["respond"],
+    ["worker"]. *)
 
 exception Injected of site
 (** The injected failure.  Escapes of this exception past the request
@@ -50,6 +56,18 @@ val armed : unit -> bool
 val trip : site -> unit
 (** Draw at [site]; no-op when nothing armed covers the site.
     @raise Injected with the armed probability. *)
+
+val fires : site -> bool
+(** Draw at [site] and report whether the fault fires, without raising;
+    a firing draw is counted exactly like a {!trip}.  The worker-kill
+    chaos path uses this to decide whether to SIGKILL a child. *)
+
+val relock_after_fork : unit -> unit
+(** Replace the module mutex with a fresh one.  For freshly forked
+    children only (single-threaded by construction): the inherited mutex
+    may have been held at fork time by a parent thread that no longer
+    exists, and taking it would deadlock the child until the watchdog
+    fires. *)
 
 val injected_count : unit -> int
 (** Total faults injected since the last {!arm}/{!disarm}. *)

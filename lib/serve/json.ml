@@ -230,7 +230,11 @@ let rec parse_value st depth =
   | Some ('-' | '0' .. '9') -> parse_number st
   | Some c -> fail st.i "unexpected character '%c'" c
 
-let parse s =
+let parse ?max_bytes s =
+  (match max_bytes with
+  | Some cap when String.length s > cap ->
+    fail 0 "input of %d bytes exceeds the %d-byte limit" (String.length s) cap
+  | _ -> ());
   let st = { s; i = 0 } in
   let v = parse_value st 0 in
   skip_ws st;

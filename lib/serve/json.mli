@@ -15,9 +15,12 @@ type t =
 exception Parse_error of string
 (** Malformed input, with a byte offset in the message. *)
 
-val parse : string -> t
+val parse : ?max_bytes:int -> string -> t
 (** Parse one complete JSON value; trailing non-whitespace is an error.
-    Nesting is capped (adversarial [\[\[\[…] frames fail cleanly).
+    Nesting is capped (adversarial [\[\[\[…] frames fail cleanly), and an
+    input longer than [max_bytes] is rejected before any parsing work —
+    the length cap belongs to the parser so every caller (the server
+    read loops, the worker result pipe, dump replay) gets it uniformly.
     @raise Parse_error on malformed input. *)
 
 val to_string : t -> string

@@ -180,13 +180,50 @@ let ok_verdict ~id ~op ~verdict ~route ~cache ~nodes ~elapsed_ms ~certified =
 
 let error ~id e =
   Json.Obj
-    [
-      ("id", id);
-      ("status", Json.String "error");
-      ("error", Json.String (Core.Error.kind_name e));
-      ("code", Json.Int (Core.Error.exit_code e));
-      ("message", Json.String (Core.Error.to_string e));
-    ]
+    ([
+       ("id", id);
+       ("status", Json.String "error");
+       ("error", Json.String (Core.Error.kind_name e));
+       ("code", Json.Int (Core.Error.exit_code e));
+       ("message", Json.String (Core.Error.to_string e));
+     ]
+    @
+    (* Worker crashes carry their triage class as a dedicated field so
+       chaos harnesses and ops tooling can count crash kinds without
+       parsing the message text. *)
+    match e with
+    | Core.Error.Worker_crash { crash; _ } ->
+      [ ("crash", Json.String (Core.Error.crash_class_name crash)) ]
+    | _ -> [])
+
+(* The one classification of an escaped exception into a typed response,
+   shared by the parent-side isolation boundary ([Server.handle_line])
+   and the sandboxed worker child — both must render identical taxonomy
+   for the same failure. *)
+let error_of_exn ~id = function
+  | Fault.Injected site ->
+    error ~id
+      (Core.Error.Internal
+         (Printf.sprintf "injected fault at site %s" (Fault.site_name site)))
+  | Core.Error.Error e -> error ~id e
+  | Out_of_memory ->
+    (* Under an RLIMIT_AS ceiling a failed allocation surfaces as
+       [Out_of_memory] rather than process death; classify it as the
+       crash it is so the supervisor's retry/dump machinery sees it. *)
+    error ~id
+      (Core.Error.Worker_crash
+         {
+           crash = Core.Error.Crash_oom;
+           attempts = 1;
+           detail = "allocation failed (memory ceiling or host exhaustion)";
+         })
+  | e -> (
+    match Core.Error.of_exn e with
+    | Some t -> error ~id t
+    | None ->
+      (* The CLI re-raises unrecognized exceptions to die loudly; the
+         daemon must not die, so the catch-all is total here. *)
+      error ~id (Core.Error.Internal (Printexc.to_string e)))
 
 let shed ~id ~message =
   Json.Obj

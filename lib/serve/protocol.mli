@@ -23,9 +23,11 @@
     ["route"], ["cache"] (["hit"] / ["miss"] / ["poisoned"] / ["none"]),
     ["nodes"], ["elapsed_ms"] and ["code"] (0, or 4 for [unknown] —
     mirroring the CLI exit codes).  [error] responses carry ["error"]
-    (the {!Core.Error} kind), ["code"] (2/3/4/5, the documented exit
-    code) and ["message"].  [shed] responses carry ["message"] and mean
-    admission control refused the request under load. *)
+    (the {!Core.Error} kind), ["code"] (2/3/4/5/6, the documented exit
+    code) and ["message"]; worker crashes (code 6) also carry a
+    ["crash"] class and, when a dump was spooled, a ["dump"] path.
+    [shed] responses carry ["message"] and mean admission control
+    refused the request under load. *)
 
 type op = Solve | Contain | Ping | Stats
 
@@ -74,6 +76,16 @@ val ok_verdict :
     not requested. *)
 
 val error : id:Json.t -> Core.Error.t -> Json.t
+(** Worker-crash errors additionally carry a ["crash"] field with the
+    stable {!Core.Error.crash_class_name}. *)
+
+val error_of_exn : id:Json.t -> exn -> Json.t
+(** Total classification of an escaped exception into a typed error
+    response: injected faults and structured errors keep their identity,
+    [Out_of_memory] becomes a worker-crash ([oom]) response, everything
+    else maps through {!Core.Error.of_exn} with an [internal] catch-all.
+    Shared by the server isolation boundary and the worker child so both
+    sides of the fork render the same taxonomy. *)
 
 val shed : id:Json.t -> message:string -> Json.t
 

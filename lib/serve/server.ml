@@ -8,6 +8,8 @@ type config = {
   max_frame_bytes : int;
   admit : unit -> [ `Go | `Shed of string | `Cancelled ];
   release : unit -> unit;
+  sandbox : Worker.pool option;
+  spool_dir : string option;
 }
 
 let default_config ?(cache_capacity = 64) () =
@@ -21,6 +23,8 @@ let default_config ?(cache_capacity = 64) () =
     max_frame_bytes = 1 lsl 20;
     admit = (fun () -> `Go);
     release = (fun () -> ());
+    sandbox = None;
+    spool_dir = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -69,8 +73,16 @@ let attempts_nodes attempts =
 (* Solve (A, B) with the template side routed through the cache; returns
    the response.  [certify] re-derives the verdict's certificate with the
    trusted checker — a rejection is an internal error, raised and mapped
-   at the boundary like everything else. *)
-let solve_instance cfg ~id ~op ~certify ~max_nodes ~timeout a b =
+   at the boundary like everything else.
+
+   With a sandbox pool, the solve itself runs inside a forked worker
+   under {!Worker.supervise}; the cache lookup stays in the parent on
+   purpose, so a warm template's interned indexes are built once and
+   shared copy-on-write with every child.  The degraded retry clamps the
+   node budget to the pool's [retry_nodes] — a crash is evidence the
+   request is near some resource cliff, so the second attempt must be
+   strictly cheaper. *)
+let solve_instance cfg ~line ~id ~op ~certify ~max_nodes ~timeout a b =
   let lookup, _fp = Cache.lookup cfg.cache b in
   let b, cache_status =
     match lookup with
@@ -78,32 +90,55 @@ let solve_instance cfg ~id ~op ~certify ~max_nodes ~timeout a b =
     | Cache.Miss interned -> (interned, "miss")
     | Cache.Poisoned _ -> (b, "poisoned")
   in
-  let budget = budget_for cfg ~max_nodes ~timeout in
-  Fault.trip Fault.Solve;
-  let t0 = Unix.gettimeofday () in
-  let r = Core.Solver.solve ~budget a b in
-  (* Microsecond precision is plenty; full-precision floats bloat frames. *)
-  let elapsed_ms =
-    Float.round (1e6 *. (Unix.gettimeofday () -. t0)) /. 1000.
+  let solve_now ~max_nodes =
+    let budget = budget_for cfg ~max_nodes ~timeout in
+    Fault.trip Fault.Solve;
+    let t0 = Unix.gettimeofday () in
+    let r = Core.Solver.solve ~budget a b in
+    (* Microsecond precision is plenty; full-precision floats bloat frames. *)
+    let elapsed_ms =
+      Float.round (1e6 *. (Unix.gettimeofday () -. t0)) /. 1000.
+    in
+    let certified =
+      if not certify then None
+      else
+        match Core.Solver.certificate r with
+        | None -> None
+        | Some c ->
+          if Certificate.check a b c then Some true
+          else
+            Core.Error.internal
+              "the checker rejected the %s certificate of route %s"
+              (Certificate.describe c)
+              (Core.Solver.route_name r.Core.Solver.route)
+    in
+    Protocol.ok_verdict ~id ~op ~verdict:r.Core.Solver.verdict
+      ~route:(Core.Solver.route_name r.Core.Solver.route)
+      ~cache:cache_status
+      ~nodes:(attempts_nodes r.Core.Solver.attempts)
+      ~elapsed_ms ~certified
   in
-  let certified =
-    if not certify then None
-    else
-      match Core.Solver.certificate r with
+  match cfg.sandbox with
+  | None -> solve_now ~max_nodes
+  | Some pool ->
+    let dump ~crash ~detail ~attempts =
+      match cfg.spool_dir with
       | None -> None
-      | Some c ->
-        if Certificate.check a b c then Some true
-        else
-          Core.Error.internal
-            "the checker rejected the %s certificate of route %s"
-            (Certificate.describe c)
-            (Core.Solver.route_name r.Core.Solver.route)
-  in
-  Protocol.ok_verdict ~id ~op ~verdict:r.Core.Solver.verdict
-    ~route:(Core.Solver.route_name r.Core.Solver.route)
-    ~cache:cache_status
-    ~nodes:(attempts_nodes r.Core.Solver.attempts)
-    ~elapsed_ms ~certified
+      | Some dir ->
+        Some
+          (Dump.write ~dir
+             (Dump.make ~line ~crash ~detail ~attempts
+                ~limits:(Worker.pool_limits pool)))
+    in
+    Worker.supervise pool ~id ~dump (fun ~degraded ->
+        Worker.test_abort_hook a;
+        let max_nodes =
+          if not degraded then max_nodes
+          else
+            let cap = Worker.retry_nodes pool in
+            Some (match max_nodes with Some n -> min n cap | None -> cap)
+        in
+        solve_now ~max_nodes)
 
 let stats_fields cfg =
   let c = Cache.stats cfg.cache in
@@ -124,9 +159,34 @@ let stats_fields cfg =
         (List.map
            (fun (site, n) -> (site, Json.Int n))
            (Fault.injected_per_site ())) );
+    ( "workers",
+      match cfg.sandbox with
+      | None -> Json.Obj [ ("sandbox", Json.Bool false) ]
+      | Some pool ->
+        let w = Worker.stats pool in
+        Json.Obj
+          [
+            ("sandbox", Json.Bool true);
+            ("live", Json.Int w.Worker.live);
+            ("spawned", Json.Int w.Worker.spawned);
+            ("completed", Json.Int w.Worker.completed);
+            ("retries", Json.Int w.Worker.retries);
+            ("dumps", Json.Int w.Worker.dumps);
+            ( "crashes",
+              Json.Obj
+                [
+                  ("total", Json.Int w.Worker.crashes_total);
+                  ("signal", Json.Int w.Worker.crashes_signal);
+                  ("oom", Json.Int w.Worker.crashes_oom);
+                  ("cpu", Json.Int w.Worker.crashes_cpu);
+                  ("watchdog", Json.Int w.Worker.crashes_watchdog);
+                  ("protocol", Json.Int w.Worker.crashes_protocol);
+                  ("exit", Json.Int w.Worker.crashes_exit);
+                ] );
+          ] );
   ]
 
-let dispatch cfg (req : Protocol.request) =
+let dispatch cfg ~line (req : Protocol.request) =
   let id = req.Protocol.id in
   match req.Protocol.op with
   | Protocol.Ping -> Protocol.ok_ping ~id
@@ -153,7 +213,7 @@ let dispatch cfg (req : Protocol.request) =
           | Protocol.Solve ->
             let a = parse_structure ~what:"source" (get "source" req.source) in
             let b = parse_structure ~what:"target" (get "target" req.target) in
-            solve_instance cfg ~id ~op ~certify:req.certify
+            solve_instance cfg ~line ~id ~op ~certify:req.certify
               ~max_nodes:req.max_nodes ~timeout:req.timeout a b
           | Protocol.Contain ->
             let q1 = parse_query ~what:"q1" (get "q1" req.q1) in
@@ -163,7 +223,7 @@ let dispatch cfg (req : Protocol.request) =
               | pair -> pair
               | exception Invalid_argument msg -> Core.Error.bad_input "%s" msg
             in
-            solve_instance cfg ~id ~op ~certify:req.certify
+            solve_instance cfg ~line ~id ~op ~certify:req.certify
               ~max_nodes:req.max_nodes ~timeout:req.timeout a b
           | Protocol.Ping | Protocol.Stats -> assert false))
 
@@ -177,7 +237,7 @@ let handle_line cfg line =
           (String.length line) cfg.max_frame_bytes;
       Fault.trip Fault.Parse;
       let j =
-        match Json.parse line with
+        match Json.parse ~max_bytes:cfg.max_frame_bytes line with
         | j -> j
         | exception Json.Parse_error msg ->
           Core.Error.bad_input "bad frame: %s" msg
@@ -185,20 +245,8 @@ let handle_line cfg line =
       id := Protocol.id_of_json j;
       match Protocol.request_of_json j with
       | Error msg -> Protocol.error ~id:!id (Core.Error.Bad_input msg)
-      | Ok req -> dispatch cfg req
-    with
-    | Fault.Injected site ->
-      Protocol.error ~id:!id
-        (Core.Error.Internal
-           (Printf.sprintf "injected fault at site %s" (Fault.site_name site)))
-    | Core.Error.Error e -> Protocol.error ~id:!id e
-    | e -> (
-      match Core.Error.of_exn e with
-      | Some t -> Protocol.error ~id:!id t
-      | None ->
-        (* The CLI re-raises unrecognized exceptions to die loudly; the
-           daemon must not die, so the catch-all is total here. *)
-        Protocol.error ~id:!id (Core.Error.Internal (Printexc.to_string e)))
+      | Ok req -> dispatch cfg ~line req
+    with e -> Protocol.error_of_exn ~id:!id e
   in
   (match response with
   | Json.Obj fields -> (
@@ -294,6 +342,11 @@ type options = {
   opt_default_nodes : int option;
   opt_default_timeout : float option;
   opt_max_frame_bytes : int;
+  opt_sandbox : bool;
+  opt_sandbox_mem_bytes : int option;
+  opt_sandbox_cpu_seconds : int option;
+  opt_sandbox_wall_seconds : float;
+  opt_spool_dir : string option;
 }
 
 (* EINTR-safe read: signals interrupt blocked reads; only shutdown (via
@@ -310,12 +363,14 @@ let rec write_all fd s off len =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
   end
 
-(* One connection: split the byte stream into lines, feed each through
-   the handler, write back one response line per frame.  A line that
-   outgrows the frame limit is answered once and discarded to the next
-   newline, so a malicious endless frame cannot hold the buffer.  Any IO
-   error (EPIPE, reset) just ends this connection — never the daemon. *)
-let serve_connection cfg ~shutdown fd =
+(* One byte stream: split into lines, feed each through the handler,
+   answer one response line per frame.  A line that outgrows the frame
+   limit is answered once and discarded to the next newline, so a
+   malicious endless frame cannot hold the buffer — this reader backs
+   both the socket connections and stdio mode, which previously buffered
+   unbounded lines through [In_channel.input_line].  Any IO error (EPIPE,
+   reset) just ends this stream — never the daemon. *)
+let serve_stream cfg ~shutdown ~in_fd ~respond =
   let chunk = Bytes.create 8192 in
   let line = Buffer.create 1024 in
   let discarding = ref false in
@@ -335,13 +390,10 @@ let serve_connection cfg ~shutdown fd =
     | s -> s
     | exception _ -> Protocol.fallback_line
   in
-  let respond s =
-    write_all fd (s ^ "\n") 0 (String.length s + 1)
-  in
   try
     let running = ref true in
     while !running do
-      let n = safe_read fd chunk 0 (Bytes.length chunk) in
+      let n = safe_read in_fd chunk 0 (Bytes.length chunk) in
       if n = 0 then running := false
       else
         for i = 0 to n - 1 do
@@ -366,6 +418,10 @@ let serve_connection cfg ~shutdown fd =
       if !shutdown && Buffer.length line = 0 then running := false
     done
   with _ -> ()
+
+let serve_connection cfg ~shutdown fd =
+  serve_stream cfg ~shutdown ~in_fd:fd ~respond:(fun s ->
+      write_all fd (s ^ "\n") 0 (String.length s + 1))
 
 type registry = {
   reg_lock : Mutex.t;
@@ -419,6 +475,19 @@ let bind_unix_socket path =
      raise e);
   sock
 
+let pool_of_options opts =
+  if not opts.opt_sandbox then None
+  else
+    Some
+      (Worker.create_pool
+         ~limits:
+           {
+             Worker.mem_bytes = opts.opt_sandbox_mem_bytes;
+             cpu_seconds = opts.opt_sandbox_cpu_seconds;
+             wall_seconds = opts.opt_sandbox_wall_seconds;
+           }
+         ())
+
 let config_of_options opts ~cancel ~admission =
   {
     cache = Cache.create ~capacity:opts.cache_capacity;
@@ -436,23 +505,13 @@ let config_of_options opts ~cancel ~admission =
     release =
       (fun () ->
         match admission with Some adm -> Admission.release adm | None -> ());
+    sandbox = pool_of_options opts;
+    spool_dir = opts.opt_spool_dir;
   }
 
 let run_stdio cfg ~shutdown =
-  let rec loop () =
-    if !shutdown then ()
-    else
-      match In_channel.input_line In_channel.stdin with
-      | None -> ()
-      | Some frame ->
-        if String.trim frame <> "" then begin
-          print_string (handle_line cfg frame);
-          print_newline ();
-          flush stdout
-        end;
-        loop ()
-  in
-  loop ();
+  serve_stream cfg ~shutdown ~in_fd:Unix.stdin ~respond:(fun s ->
+      write_all Unix.stdout (s ^ "\n") 0 (String.length s + 1));
   0
 
 let run_socket cfg ~shutdown ~admission path =

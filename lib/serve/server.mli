@@ -24,7 +24,17 @@
     released, and the loop exits cleanly.  Admission control bounds
     concurrent solves ([max_inflight]) and the backpressure queue
     ([max_queue]); beyond both, requests are shed with a typed [shed]
-    response instead of accumulating unbounded work. *)
+    response instead of accumulating unbounded work.
+
+    {2 Sandboxed workers}
+
+    With a {!Worker.pool} configured, every solve runs in a forked child
+    under rlimits and a wall-clock watchdog ({!Worker.supervise}): one
+    crash triggers a degraded retry, a second yields a typed
+    [worker_crash] response (code 6) and — when a spool directory is
+    configured — a crash-dump artifact for [cqc triage].  The cache
+    lookup stays in the parent so warm template indexes are shared
+    copy-on-write with every child. *)
 
 type config = {
   cache : Cache.t;
@@ -38,6 +48,11 @@ type config = {
       (** Admission decision for verdict-bearing ops; [`Go] must be
           paired with a later [release]. *)
   release : unit -> unit;
+  sandbox : Worker.pool option;
+      (** When set, solves run in forked sandboxed workers. *)
+  spool_dir : string option;
+      (** Where terminal crashes spool their dump artifacts; [None]
+          disables dumps (crash responses still carry the class). *)
 }
 
 val default_config : ?cache_capacity:int -> unit -> config
@@ -61,6 +76,11 @@ type options = {
   opt_default_nodes : int option;
   opt_default_timeout : float option;
   opt_max_frame_bytes : int;
+  opt_sandbox : bool;  (** Fork a sandboxed worker per solve. *)
+  opt_sandbox_mem_bytes : int option;  (** RLIMIT_AS; [None] inherits. *)
+  opt_sandbox_cpu_seconds : int option;  (** RLIMIT_CPU; [None] inherits. *)
+  opt_sandbox_wall_seconds : float;  (** Watchdog deadline. *)
+  opt_spool_dir : string option;  (** Crash-dump spool directory. *)
 }
 
 val run : options -> int

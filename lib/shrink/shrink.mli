@@ -1,0 +1,39 @@
+(** Delta-debugging minimization for crash reproducers.
+
+    A crash dump captures the request that killed a worker twice; this
+    module shrinks that request while preserving an arbitrary
+    caller-supplied predicate [keeps] ("replaying this still crashes
+    with the same signature").  The core is Zeller's [ddmin] over lists;
+    on top of it sit domain-aware shrinkers for the two request shapes —
+    structures (drop tuples, merge universe elements) and conjunctive
+    queries (drop body atoms, collapse existential variables).
+
+    [keeps] is treated as expensive (each call typically forks a sandbox
+    replay and may wait out a watchdog), so the shrinkers are greedy
+    first-improvement passes iterated to a fixed point, not exhaustive
+    searches; the result is 1-minimal with respect to the moves tried,
+    not globally minimal.  [keeps] must hold on the input; every
+    intermediate candidate handed to [keeps] is well-formed by
+    construction (universe renumbered, vocabulary preserved). *)
+
+val ddmin : keeps:('a list -> bool) -> 'a list -> 'a list
+(** Zeller's delta-debugging minimization: the returned list satisfies
+    [keeps] and is 1-minimal (removing any single remaining element
+    breaks the predicate) whenever the input satisfies [keeps].  If it
+    does not, the input is returned unchanged. *)
+
+val structure :
+  keeps:(Relational.Structure.t -> bool) ->
+  Relational.Structure.t ->
+  Relational.Structure.t
+(** Shrink a structure: [ddmin] over its tuples, then greedy merging of
+    universe elements (largest first, renumbering to keep the universe
+    contiguous), then a final tuple pass — merging often unlocks further
+    tuple drops.  The result keeps the original vocabulary. *)
+
+val query : keeps:(Cq.Query.t -> bool) -> Cq.Query.t -> Cq.Query.t
+(** Shrink a conjunctive query: [ddmin] over body atoms, then greedy
+    collapsing of existential variables into other variables, then a
+    final atom pass.  Head variables are never renamed away, so the
+    query's arity is preserved; safety is up to [keeps] (an unsafe
+    candidate should simply fail the replay). *)

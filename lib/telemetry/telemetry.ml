@@ -146,6 +146,13 @@ let set_sink s =
       sink := s;
       stack := [])
 
+(* In a child forked from a multithreaded parent, [lock] may have been
+   held by a thread that does not exist in the child: taking it would
+   deadlock forever.  Writing the sink ref directly (no lock — the child
+   is single-threaded by construction) routes every subsequent
+   instrumentation call through the lock-free disabled fast path. *)
+let detach_after_fork () = sink := None
+
 let reset () =
   locked (fun () ->
       Hashtbl.reset counters;

@@ -69,6 +69,14 @@ val set_sink : Sink.t option -> unit
 
 val enabled : unit -> bool
 
+val detach_after_fork : unit -> unit
+(** Disable telemetry {e without} taking the module lock.  For freshly
+    forked children only: the lock may have been held at fork time by a
+    parent thread that no longer exists, so the ordinary {!set_sink}
+    could deadlock.  The child is single-threaded, making the direct
+    write safe; afterwards every instrumentation call takes the
+    lock-free disabled path. *)
+
 (** {1 Counters}
 
     Counters are named monotone totals ("ac.kills", "pebble.deaths");

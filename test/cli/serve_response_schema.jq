@@ -23,5 +23,13 @@
                  or .error == "budget_exhausted" or .error == "internal")
             and (.code == 2 or .code == 3 or .code == 4 or .code == 5)
             and (.message | type == "string"))
+        or (.status == "error"
+            and .error == "worker_crash"
+            and .code == 6
+            and (.crash == "signal" or .crash == "oom" or .crash == "cpu"
+                 or .crash == "watchdog" or .crash == "protocol"
+                 or .crash == "exit")
+            and (.message | type == "string")
+            and ((has("dump") | not) or (.dump | type == "string")))
         or (.status == "shed" and (.message | type == "string")))]
 | all

@@ -10,9 +10,17 @@
 #                      CQCSP_FAULT; responses must STILL all be typed
 #                      (injected faults become error responses, never
 #                      crashes);
-#   3. both daemons must drain and exit 0 on SIGTERM, and the clean
-#      daemon's --metrics-json document must pass the metrics schema
-#      with serve.cache.hit > 0.
+#   3. worker-kill chaos — >=1000 frames of distinct templates against a
+#                      sandboxed daemon whose worker fault site SIGKILLs
+#                      ~15% of forked children (DESIGN.md section 14);
+#                      every response must still be typed, the worker
+#                      accounting must balance exactly (crashes = retries
+#                      + terminal code-6 responses; spawns = completions
+#                      + crashes), and every terminal crash must spool
+#                      one dump artifact;
+#   4. all daemons must drain and exit 0 on SIGTERM, and the metrics
+#      documents must pass the metrics schema with serve.cache.hit > 0
+#      (clean) and serve.worker.spawn > 0 (worker chaos).
 #
 # Usage: test/serve_smoke.sh [path/to/cqc.exe]   (run from the repo root;
 # needs jq)
@@ -27,7 +35,15 @@ FRAMES_PER_CLIENT=12
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"; [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
 
-fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+# On failure, preserve any spooled crash dumps where CI can upload them.
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  if [ -n "${ARTIFACT_DIR:-}" ] && [ -d "${SPOOL:-/nonexistent}" ]; then
+    mkdir -p "$ARTIFACT_DIR"
+    cp "$SPOOL"/crash-*.json "$ARTIFACT_DIR"/ 2>/dev/null || true
+  fi
+  exit 1
+}
 
 # One client's worth of mixed frames: correct requests of every op (with
 # repeated templates so the cache is exercised), a starved solve, a
@@ -50,11 +66,14 @@ this is not json
 EOF
 }
 
+SERVE_EXTRA_ARGS=()
+
 start_daemon() { # $1 = socket, $2 = metrics json ("" for none), rest = env
   local sock=$1 metrics=$2
   shift 2
   local args=(serve --socket "$sock" --max-inflight 4 --max-queue 32)
   [ -n "$metrics" ] && args+=(--metrics-json "$metrics")
+  args+=(${SERVE_EXTRA_ARGS[@]+"${SERVE_EXTRA_ARGS[@]}"})
   env "$@" "$BIN" "${args[@]}" 2>"$TMP/serve.stderr" &
   SERVE_PID=$!
   for _ in $(seq 1 100); do
@@ -136,4 +155,85 @@ jq -e -s '[.[] | select(.status == "error" and (.message | contains("injected"))
   "$TMP/chaos/all.jsonl" >/dev/null || fail "chaos: no injected faults surfaced"
 stop_daemon "chaos"
 
-echo "serve_smoke: OK ($((CLIENTS * FRAMES_PER_CLIENT)) clean + $((CLIENTS * FRAMES_PER_CLIENT)) chaos responses, all typed; graceful drains)"
+# --- Phase 3: sandboxed workers under kill chaos ----------------------
+# Every (client, rep) pair gets its own padded target so the template
+# cache cannot absorb the load in the parent: each solve must fork a
+# worker, and the armed worker fault site SIGKILLs ~15% of those forks.
+WORKER_REPS=10
+WORKER_FRAMES_PER_REP=5
+
+make_worker_frames() { # $1 = client index
+  local c=$1 r pad size base
+  for r in $(seq 1 "$WORKER_REPS"); do
+    pad=$((c * WORKER_REPS + r))
+    size=$((2 + pad))
+    base=$((c * 100000 + r * 100))
+    cat <<EOF
+{"id":$((base+1)),"op":"solve","source":"size 2\nE 0 1\nE 1 0\n","target":"size $size\nE 0 1\nE 1 0\n"}
+{"id":$((base+2)),"op":"solve","source":"size 3\nE 0 1\nE 1 2\nE 2 0\n","target":"size $size\nE 0 1\nE 1 0\n","certify":true}
+{"id":$((base+3)),"op":"ping"}
+{"id":$((base+4)),"op":"solve","source":"size 3\nE 0 1\nE 1 2\nE 2 0\n","target":"size $size\nE 0 1\nE 1 0\n","max_nodes":1}
+{"id":$((base+5)),"op":"solve","source":"size 2\nE 0 1\nE 1 0\n","target":"size $((size+1))\nE 0 1\nE 1 0\n"}
+EOF
+  done
+}
+
+SPOOL="$TMP/spool"
+SERVE_EXTRA_ARGS=(--spool "$SPOOL")
+start_daemon "$TMP/worker.sock" "$TMP/worker-metrics.json" CQCSP_FAULT=worker:1234:0.15
+SERVE_EXTRA_ARGS=()
+
+mkdir -p "$TMP/worker"
+worker_pids=()
+for c in $(seq 1 "$CLIENTS"); do
+  make_worker_frames "$c" | "$BIN" request --socket "$TMP/worker.sock" --retry 3 \
+    >"$TMP/worker/client_$c.jsonl" &
+  worker_pids+=($!)
+done
+for pid in "${worker_pids[@]}"; do
+  wait "$pid" || fail "worker: a request client failed"
+done
+cat "$TMP/worker"/client_*.jsonl >"$TMP/worker/all.jsonl"
+
+WORKER_EXPECTED=$((CLIENTS * WORKER_REPS * WORKER_FRAMES_PER_REP))
+WORKER_GOT=$(wc -l <"$TMP/worker/all.jsonl")
+[ "$WORKER_GOT" -eq "$WORKER_EXPECTED" ] \
+  || fail "worker: expected $WORKER_EXPECTED responses, got $WORKER_GOT"
+[ "$WORKER_EXPECTED" -ge 1000 ] || fail "worker: load below the 1000-frame floor"
+jq -e -s -f "$RESPONSE_SCHEMA" "$TMP/worker/all.jsonl" >/dev/null \
+  || fail "worker: a response violates $RESPONSE_SCHEMA"
+
+# Exact accounting against the stats op.  A fault draw can race a fast
+# child that already answered (the SIGKILL lands on a zombie), so the
+# invariants are internal: every crash is either absorbed by the one
+# degraded retry or surfaces as exactly one terminal code-6 response
+# with one spooled dump; every spawn completes or crashes.
+echo '{"id":1,"op":"stats"}' | "$BIN" request --socket "$TMP/worker.sock" \
+  >"$TMP/worker-stats.jsonl"
+TERMINAL=$(jq -s '[.[] | select(.error == "worker_crash")] | length' "$TMP/worker/all.jsonl")
+jq -e -s --argjson terminal "$TERMINAL" '
+  .[0].workers
+  | .sandbox == true
+    and .live == 0
+    and .crashes.total > 0
+    and .crashes.total == .retries + $terminal
+    and .spawned == .completed + .crashes.total
+    and .dumps == $terminal
+    and .crashes.total == (.crashes.signal + .crashes.oom + .crashes.cpu
+                           + .crashes.watchdog + .crashes.protocol
+                           + .crashes.exit)' \
+  "$TMP/worker-stats.jsonl" >/dev/null || fail "worker: stats accounting does not balance"
+DUMPED=$(find "$SPOOL" -name 'crash-*.json' 2>/dev/null | wc -l)
+[ "$DUMPED" -eq "$TERMINAL" ] \
+  || fail "worker: $TERMINAL terminal crashes but $DUMPED spooled dumps"
+# Terminal crash responses must name their dump artifact.
+jq -e -s '[.[] | select(.error == "worker_crash") | has("dump")] | all' \
+  "$TMP/worker/all.jsonl" >/dev/null || fail "worker: a terminal crash response lacks its dump path"
+
+stop_daemon "worker"
+jq -e -f "$METRICS_SCHEMA" "$TMP/worker-metrics.json" >/dev/null \
+  || fail "worker: metrics document violates $METRICS_SCHEMA"
+jq -e '[.counters[] | select(.name == "serve.worker.spawn") | .total > 0] | any' \
+  "$TMP/worker-metrics.json" >/dev/null || fail "worker: serve.worker.spawn not positive in metrics"
+
+echo "serve_smoke: OK ($((CLIENTS * FRAMES_PER_CLIENT)) clean + $((CLIENTS * FRAMES_PER_CLIENT)) chaos + $WORKER_EXPECTED worker-chaos responses, all typed; $TERMINAL terminal worker crashes, accounting exact; graceful drains)"

@@ -330,9 +330,14 @@ let assert_typed_response line =
     (match Json.string_member "error" j with
     | Some ("bad_input" | "unsupported" | "budget_exhausted" | "internal") ->
       ()
+    | Some "worker_crash" -> (
+      match Json.string_member "crash" j with
+      | Some ("signal" | "oom" | "cpu" | "watchdog" | "protocol" | "exit") ->
+        ()
+      | _ -> Alcotest.failf "worker_crash response lacks crash class: %s" line)
     | _ -> Alcotest.failf "error response has bad kind: %s" line);
     (match Json.int_member "code" j with
-    | Some (2 | 3 | 4 | 5) -> ()
+    | Some (2 | 3 | 4 | 5 | 6) -> ()
     | _ -> Alcotest.failf "error response has bad code: %s" line);
     match Json.string_member "message" j with
     | Some _ -> ()
@@ -521,7 +526,23 @@ let chaos_tests =
         List.iter
           (fun site ->
             let spec = Fault.site_name site ^ ":9:1.0" in
-            let injected, _ = chaos_run ~frames:50 ~spec in
+            let injected =
+              if site = Fault.Worker then (
+                (* The worker site is only consulted when a solve forks,
+                   so this one needs a sandboxed config. *)
+                let cfg =
+                  {
+                    (Server.default_config ()) with
+                    Server.sandbox = Some (Serve.Worker.create_pool ());
+                  }
+                in
+                with_faults spec (fun () ->
+                    for i = 1 to 20 do
+                      ignore (handle cfg (chaos_frame i))
+                    done;
+                    Fault.injected_count ()))
+              else fst (chaos_run ~frames:50 ~spec)
+            in
             check (spec ^ " injects") true (injected > 0))
           Fault.all_sites);
     Alcotest.test_case "respond fault at rate 1.0 falls back, never raises"
@@ -543,6 +564,342 @@ let chaos_tests =
            true));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Sandboxed workers: the crash-classification matrix                   *)
+(* ------------------------------------------------------------------ *)
+
+module Worker = Serve.Worker
+module Dump = Serve.Dump
+
+let quick_limits =
+  { Worker.mem_bytes = None; cpu_seconds = None; wall_seconds = 10. }
+
+let exec ?(limits = quick_limits) compute =
+  Worker.execute ~limits ~id:Json.Null compute
+
+let expect_crash name result pred =
+  match result with
+  | Error (crash, detail) ->
+    check (name ^ " class") true (pred crash);
+    check (name ^ " has detail") true (String.length detail > 0)
+  | Ok j -> Alcotest.failf "%s: expected a crash, got %s" name (Json.to_string j)
+
+(* The synthetic-crasher structure: one BOOM tuple arms the hook. *)
+let boom_structure =
+  parse_structure "size 2\nrel E 2\nrel BOOM 1\nE 0 1\nBOOM 0\n"
+
+let with_abort spec f =
+  Unix.putenv "CQCSP_TEST_ABORT" spec;
+  Fun.protect ~finally:(fun () -> Unix.putenv "CQCSP_TEST_ABORT" "") f
+
+let create_test_pool () =
+  Worker.create_pool
+    ~limits:{ Worker.mem_bytes = None; cpu_seconds = None; wall_seconds = 10. }
+    ()
+
+let worker_tests =
+  [
+    Alcotest.test_case "healthy compute returns its frame" `Quick (fun () ->
+        match exec (fun () -> Json.Obj [ ("x", Json.Int 7) ]) with
+        | Ok (Json.Obj [ ("x", Json.Int 7) ]) -> ()
+        | Ok j -> Alcotest.failf "wrong frame: %s" (Json.to_string j)
+        | Error (_, d) -> Alcotest.failf "unexpected crash: %s" d);
+    Alcotest.test_case "exceptions in compute are typed responses, not crashes"
+      `Quick (fun () ->
+        match exec (fun () -> Core.Error.bad_input "nope") with
+        | Ok j ->
+          check "bad_input" true (Json.string_member "error" j = Some "bad_input")
+        | Error (_, d) -> Alcotest.failf "unexpected crash: %s" d);
+    Alcotest.test_case "SIGKILL classifies as a signal crash" `Quick (fun () ->
+        expect_crash "kill"
+          (exec (fun () ->
+               Unix.kill (Unix.getpid ()) Sys.sigkill;
+               Json.Null))
+          (function Core.Error.Crash_signal s -> s = Sys.sigkill | _ -> false));
+    Alcotest.test_case "SIGSEGV via the abort hook classifies as a signal crash"
+      `Quick (fun () ->
+        with_abort "segv:BOOM" (fun () ->
+            expect_crash "segv"
+              (exec (fun () ->
+                   Worker.test_abort_hook boom_structure;
+                   Json.Null))
+              (function
+                | Core.Error.Crash_signal s -> s = Sys.sigsegv | _ -> false)));
+    Alcotest.test_case "clean nonzero exit classifies as an exit crash" `Quick
+      (fun () ->
+        with_abort "exit:BOOM" (fun () ->
+            expect_crash "exit"
+              (exec (fun () ->
+                   Worker.test_abort_hook boom_structure;
+                   Json.Null))
+              (function Core.Error.Crash_exit 3 -> true | _ -> false)));
+    Alcotest.test_case "half-written frame classifies as a protocol crash"
+      `Quick (fun () ->
+        (* Exiting 0 without writing the frame is exactly what a child
+           dying mid-write looks like from the parent. *)
+        expect_crash "protocol"
+          (exec (fun () ->
+               if true then Unix._exit 0;
+               Json.Null))
+          (function Core.Error.Crash_protocol -> true | _ -> false));
+    Alcotest.test_case "watchdog timeout kills and classifies a spinning child"
+      `Quick (fun () ->
+        let limits = { quick_limits with Worker.wall_seconds = 0.3 } in
+        expect_crash "watchdog"
+          (exec ~limits (fun () ->
+               while true do
+                 ignore (Sys.opaque_identity 0)
+               done;
+               Json.Null))
+          (function Core.Error.Crash_watchdog -> true | _ -> false));
+    Alcotest.test_case "RLIMIT_CPU overrun classifies as a cpu crash" `Slow
+      (fun () ->
+        let limits =
+          { quick_limits with Worker.cpu_seconds = Some 1; wall_seconds = 30. }
+        in
+        expect_crash "cpu"
+          (exec ~limits (fun () ->
+               while true do
+                 ignore (Sys.opaque_identity 0)
+               done;
+               Json.Null))
+          (function Core.Error.Crash_cpu -> true | _ -> false));
+    Alcotest.test_case "allocation over the memory ceiling answers oom" `Quick
+      (fun () ->
+        let limits =
+          { quick_limits with Worker.mem_bytes = Some (64 * 1024 * 1024) }
+        in
+        match
+          exec ~limits (fun () ->
+              (* Far over the 64 MiB ceiling in one allocation. *)
+              ignore (Sys.opaque_identity (Bytes.create (1 lsl 30)));
+              Json.Null)
+        with
+        | Ok j ->
+          (* The child caught Out_of_memory and answered the typed oom
+             crash response itself. *)
+          check "worker_crash" true
+            (Json.string_member "error" j = Some "worker_crash");
+          check "oom class" true (Json.string_member "crash" j = Some "oom")
+        | Error (crash, _) ->
+          (* Equally acceptable: the runtime aborted before the handler
+             could answer. *)
+          check "oom-adjacent death" true
+            (match crash with
+            | Core.Error.Crash_signal _ | Core.Error.Crash_oom
+            | Core.Error.Crash_exit _ ->
+              true
+            | _ -> false));
+    Alcotest.test_case "supervise: crash, degraded retry, typed code 6" `Quick
+      (fun () ->
+        let pool = create_test_pool () in
+        let j =
+          Worker.supervise pool ~id:(Json.Int 9)
+            ~dump:(fun ~crash:_ ~detail:_ ~attempts:_ -> None)
+            (fun ~degraded:_ ->
+              Unix.kill (Unix.getpid ()) Sys.sigkill;
+              Json.Null)
+        in
+        check "status error" true (Json.string_member "status" j = Some "error");
+        check "kind" true (Json.string_member "error" j = Some "worker_crash");
+        check "code 6" true (Json.int_member "code" j = Some 6);
+        check "crash class" true (Json.string_member "crash" j = Some "signal");
+        check "id echoed" true (Json.int_member "id" j = Some 9);
+        let st = Worker.stats pool in
+        check_int "both attempts crashed" 2 st.Worker.crashes_total;
+        check_int "one retry" 1 st.Worker.retries;
+        check_int "no completion" 0 st.Worker.completed;
+        check_int "nothing live" 0 st.Worker.live);
+    Alcotest.test_case "supervise: first crash, retry succeeds" `Quick
+      (fun () ->
+        let pool = create_test_pool () in
+        let j =
+          Worker.supervise pool ~id:Json.Null
+            ~dump:(fun ~crash:_ ~detail:_ ~attempts:_ ->
+              Alcotest.fail "dump must not be written when the retry succeeds")
+            (fun ~degraded ->
+              if not degraded then Unix.kill (Unix.getpid ()) Sys.sigkill;
+              Json.Obj [ ("ok", Json.Bool true) ])
+        in
+        check "retry answer" true (Json.bool_member "ok" j = Some true);
+        let st = Worker.stats pool in
+        check_int "one crash" 1 st.Worker.crashes_total;
+        check_int "one retry" 1 st.Worker.retries;
+        check_int "one completion" 1 st.Worker.completed);
+    Alcotest.test_case "degraded limits halve time, keep memory" `Quick
+      (fun () ->
+        let l =
+          Worker.degraded_limits
+            {
+              Worker.mem_bytes = Some 1000;
+              cpu_seconds = Some 10;
+              wall_seconds = 8.;
+            }
+        in
+        check "mem kept" true (l.Worker.mem_bytes = Some 1000);
+        check "cpu halved" true (l.Worker.cpu_seconds = Some 5);
+        check "wall halved" true (l.Worker.wall_seconds = 4.);
+        let tiny =
+          Worker.degraded_limits
+            { Worker.mem_bytes = None; cpu_seconds = None; wall_seconds = 0.1 }
+        in
+        check "wall floored" true (tiny.Worker.wall_seconds >= 0.5));
+    Alcotest.test_case "abort hook is inert without its trigger relation"
+      `Quick (fun () ->
+        (* All in-process: the hook must be a no-op when disarmed, when
+           the relation is absent, and when it is empty — otherwise this
+           test runner would die here. *)
+        Worker.test_abort_hook boom_structure;
+        with_abort "segv:ABSENT" (fun () ->
+            Worker.test_abort_hook boom_structure);
+        with_abort "segv:BOOM" (fun () ->
+            Worker.test_abort_hook
+              (parse_structure "size 1\nrel BOOM 1\n"));
+        with_abort "garbage-spec" (fun () ->
+            Worker.test_abort_hook boom_structure));
+    Alcotest.test_case "dump round-trips through its JSON encoding" `Quick
+      (fun () ->
+        let d =
+          Dump.make ~line:"{\"op\":\"solve\"}"
+            ~crash:(Core.Error.Crash_signal Sys.sigsegv)
+            ~detail:"killed by SIGSEGV" ~attempts:2
+            ~limits:
+              {
+                Worker.mem_bytes = Some 123;
+                cpu_seconds = None;
+                wall_seconds = 2.5;
+              }
+        in
+        match Dump.of_json (Json.parse (Json.to_string (Dump.to_json d))) with
+        | Ok d' ->
+          check "line" true (d'.Dump.line = d.Dump.line);
+          check "crash class survives (payload may not)" true
+            (Core.Error.crash_class_name d'.Dump.crash = "signal");
+          check_int "attempts" 2 d'.Dump.attempts;
+          check "mem" true (d'.Dump.mem_bytes = Some 123);
+          check "cpu" true (d'.Dump.cpu_seconds = None);
+          check "wall" true (d'.Dump.wall_seconds = 2.5)
+        | Error msg -> Alcotest.failf "round-trip rejected: %s" msg);
+    Alcotest.test_case "dump validation rejects bad documents" `Quick
+      (fun () ->
+        let rejected s =
+          match Dump.of_json (Json.parse s) with
+          | Ok _ -> false
+          | Error _ -> true
+        in
+        check "empty" true (rejected "{}");
+        check "bad version" true
+          (rejected
+             "{\"version\":99,\"line\":\"x\",\"crash\":\"oom\",\"detail\":\"d\",\
+              \"attempts\":1,\"wall_seconds\":1}");
+        check "bad class" true
+          (rejected
+             "{\"version\":1,\"line\":\"x\",\"crash\":\"gremlins\",\"detail\":\"d\",\
+              \"attempts\":1,\"wall_seconds\":1}"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Sandboxed chaos: worker kills with exact restart accounting          *)
+(* ------------------------------------------------------------------ *)
+
+let temp_spool () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cqcsp-spool-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let sandbox_chaos_tests =
+  [
+    Alcotest.test_case
+      "worker-site chaos: kills are retried, counted, and never escape" `Slow
+      (fun () ->
+        let spool = temp_spool () in
+        let pool = create_test_pool () in
+        let cfg =
+          {
+            (Server.default_config ()) with
+            Server.sandbox = Some pool;
+            spool_dir = Some spool;
+          }
+        in
+        let frames = 300 in
+        let terminal = ref 0 in
+        with_faults "worker:1337:0.25" (fun () ->
+            for i = 1 to frames do
+              let j = handle cfg (chaos_frame i) in
+              if Json.string_member "error" j = Some "worker_crash" then
+                incr terminal
+            done);
+        let st = Worker.stats pool in
+        check "kills actually happened" true (st.Worker.crashes_total > 0);
+        (* Exact accounting: every crash is either absorbed by the one
+           degraded retry or surfaces as exactly one terminal worker_crash
+           response; every spawn either completes or crashes. *)
+        check_int "crashes = retries + terminal responses"
+          st.Worker.crashes_total
+          (st.Worker.retries + !terminal);
+        check_int "spawns = completions + crashes" st.Worker.spawned
+          (st.Worker.completed + st.Worker.crashes_total);
+        check_int "terminal crashes all spooled a dump" !terminal
+          st.Worker.dumps;
+        check_int "no leaked children" 0 st.Worker.live);
+    Alcotest.test_case "sandboxed solve answers match in-process answers"
+      `Quick (fun () ->
+        let sandboxed =
+          { (Server.default_config ()) with Server.sandbox = Some (create_test_pool ()) }
+        in
+        let j = handle sandboxed (solve_frame ~id:1 k2 k2) in
+        expect_verdict "sat" j "sandboxed k2->k2";
+        let j = handle sandboxed (solve_frame ~id:2 ~certify:true triangle k2) in
+        expect_verdict "unsat" j "sandboxed triangle->k2";
+        check "certified through the pipe" true
+          (Json.bool_member "certified" j = Some true);
+        let j = handle sandboxed (solve_frame ~id:3 ~max_nodes:1 triangle k2) in
+        expect_verdict "unknown" j "sandboxed starved solve");
+    Alcotest.test_case "terminal crash response names its spooled dump" `Quick
+      (fun () ->
+        let spool = temp_spool () in
+        let cfg =
+          {
+            (Server.default_config ()) with
+            Server.sandbox = Some (create_test_pool ());
+            spool_dir = Some spool;
+          }
+        in
+        let boom =
+          "size 2\nrel E 2\nrel BOOM 1\nE 0 1\nBOOM 0\nBOOM 1\n"
+        in
+        let target = "size 1\nrel E 2\nrel BOOM 1\n" in
+        let j =
+          with_abort "kill:BOOM" (fun () ->
+              handle cfg (solve_frame ~id:42 boom target))
+        in
+        check "code 6" true (Json.int_member "code" j = Some 6);
+        let path =
+          match Json.string_member "dump" j with
+          | Some p -> p
+          | None -> Alcotest.fail "terminal crash response lacks dump path"
+        in
+        match Dump.read path with
+        | Ok d ->
+          check "dump records the request line" true
+            (let line = d.Dump.line in
+             let needle = "BOOM" in
+             let rec has i =
+               i + String.length needle <= String.length line
+               && (String.sub line i (String.length needle) = needle
+                  || has (i + 1))
+             in
+             has 0);
+          check "dump records the abort spec" true
+            (d.Dump.abort_spec = Some "kill:BOOM");
+          check_int "two attempts" 2 d.Dump.attempts
+        | Error msg -> Alcotest.failf "spooled dump unreadable: %s" msg);
+  ]
+
 let () =
   Alcotest.run "serve"
     [
@@ -552,4 +909,6 @@ let () =
       ("protocol", protocol_tests);
       ("handler", handler_tests);
       ("chaos", chaos_tests);
+      ("worker", worker_tests);
+      ("sandbox-chaos", sandbox_chaos_tests);
     ]
