@@ -71,20 +71,17 @@ let structure_arg ~docv pos_index =
    an instantly-exhausted budget that answers 'unknown' without doing any
    work, which is never what the caller meant — reject it as a usage
    error at the command line. *)
-let positive_int =
+let positive_int_why why =
   let parse s =
     match int_of_string_opt s with
     | Some n when n > 0 -> Ok n
-    | Some _ ->
-      Error
-        (`Msg
-          (Printf.sprintf
-             "%s is not positive (a budget of 0 nodes would be exhausted \
-              before any work)"
-             s))
+    | Some _ -> Error (`Msg (Printf.sprintf "%s is not positive (%s)" s why))
     | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
   in
   Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let positive_int =
+  positive_int_why "a budget of 0 nodes would be exhausted before any work"
 
 let positive_float =
   let parse s =
@@ -134,6 +131,17 @@ let budget_of ~max_nodes ~timeout =
   match (max_nodes, timeout) with
   | None, None -> Core.Budget.unlimited
   | _ -> Core.Budget.create ?max_nodes ?timeout ()
+
+let threads_term =
+  Arg.(
+    value
+    & opt (positive_int_why "racing needs at least one domain to run on") 1
+    & info [ "threads" ] ~docv:"N"
+        ~doc:
+          "Race the applicable solving routes on $(docv) domains: the first \
+           route whose claim passes the certificate checker wins and cancels \
+           the rest (recorded as cancelled attempts).  1 (the default) is \
+           the sequential dispatcher.  Must be positive.")
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry flags                                                      *)
@@ -231,7 +239,8 @@ let print_attempts attempts =
         | Core.Solver.Pruned -> "pruned domains"
         | Core.Solver.Exhausted reason ->
           "exhausted: " ^ Relational.Budget.reason_to_string reason
-        | (Core.Solver.Decided | Core.Solver.Inapplicable) as o ->
+        | (Core.Solver.Decided | Core.Solver.Inapplicable | Core.Solver.Cancelled)
+          as o ->
           Core.Solver.outcome_name o
       in
       Format.eprintf "  %-32s %8d nodes  %s@." (Core.Solver.route_name route) nodes
@@ -300,12 +309,12 @@ let exits =
 
 (* ------------------------------------------------------------------ *)
 
-let contain max_nodes timeout certify metrics_json trace_out q1 q2 =
+let contain max_nodes timeout threads certify metrics_json trace_out q1 q2 =
   run (fun () ->
       with_telemetry ~command:"contain" ~metrics_json ~trace_out @@ fun () ->
       let q1 = parse_query q1 and q2 = parse_query q2 in
       let budget = budget_of ~max_nodes ~timeout in
-      let r = Core.Solver.solve_containment ~budget q1 q2 in
+      let r = Core.Solver.solve_containment ~budget ~threads q1 q2 in
       (match r.Core.Solver.verdict with
       | Core.Solver.Sat _ ->
         Format.printf "Q1 <= Q2: true  (route: %s)@."
@@ -333,8 +342,8 @@ let contain_cmd =
   Cmd.v
     (Cmd.info "contain" ~exits ~doc:"Decide conjunctive-query containment Q1 <= Q2")
     Term.(
-      const contain $ max_nodes_term $ timeout_term $ certify_term
-      $ metrics_json_term $ trace_out_term
+      const contain $ max_nodes_term $ timeout_term $ threads_term
+      $ certify_term $ metrics_json_term $ trace_out_term
       $ query_arg ~docv:"Q1" 0 $ query_arg ~docv:"Q2" 1)
 
 let minimize q =
@@ -385,12 +394,12 @@ let evaluate_cmd =
     (Cmd.info "evaluate" ~exits ~doc:"Evaluate a conjunctive query on a structure")
     Term.(const evaluate $ engine $ query_arg ~docv:"Q" 0 $ structure_arg ~docv:"DB" 1)
 
-let solve max_nodes timeout certify metrics_json trace_out a b =
+let solve max_nodes timeout threads certify metrics_json trace_out a b =
   run (fun () ->
       with_telemetry ~command:"solve" ~metrics_json ~trace_out @@ fun () ->
       let a = read_structure a and b = read_structure b in
       let budget = budget_of ~max_nodes ~timeout in
-      let r = Core.Solver.solve ~budget a b in
+      let r = Core.Solver.solve ~budget ~threads a b in
       Format.printf "route: %s@." (Core.Solver.route_name r.Core.Solver.route);
       (match r.Core.Solver.verdict with
       | Core.Solver.Sat h ->
@@ -409,7 +418,7 @@ let solve_cmd =
     (Cmd.info "solve" ~exits
        ~doc:"Decide the existence of a homomorphism SOURCE -> TARGET (CSP)")
     Term.(
-      const solve $ max_nodes_term $ timeout_term $ certify_term
+      const solve $ max_nodes_term $ timeout_term $ threads_term $ certify_term
       $ metrics_json_term $ trace_out_term
       $ structure_arg ~docv:"SOURCE" 0 $ structure_arg ~docv:"TARGET" 1)
 
@@ -574,10 +583,10 @@ let check_cmd =
        ~doc:"Evaluate a first-order formula on a structure (bounded-variable model checking)")
     Term.(const fo_check $ f $ structure_arg ~docv:"STRUCTURE" 1)
 
-let selfcheck count seed max_nodes metrics_json trace_out =
+let selfcheck count seed max_nodes threads metrics_json trace_out =
   run (fun () ->
       with_telemetry ~command:"selfcheck" ~metrics_json ~trace_out @@ fun () ->
-      let report = Core.Selfcheck.run ~max_nodes ~count ~seed () in
+      let report = Core.Selfcheck.run ~max_nodes ~count ~seed ~threads () in
       Format.printf
         "%d instance(s): %d decided by at least one route, %d skipped@."
         report.Core.Selfcheck.instances report.Core.Selfcheck.checked
@@ -630,7 +639,9 @@ let selfcheck_cmd =
               is a bug in this code base: the command reports each offending \
               seed and exits 5.";
          ])
-    Term.(const selfcheck $ count $ seed $ max_nodes $ metrics_json_term $ trace_out_term)
+    Term.(
+      const selfcheck $ count $ seed $ max_nodes $ threads_term
+      $ metrics_json_term $ trace_out_term)
 
 (* ------------------------------------------------------------------ *)
 (* serve: the long-lived solving daemon                                 *)
@@ -638,7 +649,8 @@ let selfcheck_cmd =
 
 let serve socket stdio max_inflight max_queue cache_size ceiling_nodes
     ceiling_timeout default_nodes default_timeout max_frame_bytes sandbox
-    sandbox_mem sandbox_cpu sandbox_wall spool metrics_json trace_out =
+    sandbox_mem sandbox_cpu sandbox_wall spool threads warm metrics_json
+    trace_out =
   run (fun () ->
       with_telemetry ~command:"serve" ~metrics_json ~trace_out @@ fun () ->
       let mode =
@@ -682,6 +694,8 @@ let serve socket stdio max_inflight max_queue cache_size ceiling_nodes
             (match sandbox_cpu with 0 -> None | s -> Some s);
           opt_sandbox_wall_seconds = sandbox_wall;
           opt_spool_dir = spool;
+          opt_threads = threads;
+          opt_warm_manifest = warm;
         })
 
 let serve_cmd =
@@ -815,6 +829,19 @@ let serve_cmd =
              twice on a request, a self-contained reproducer (replayable \
              with 'cqc triage') is written here.")
   in
+  let warm =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "warm" ] ~docv:"MANIFEST"
+          ~doc:
+            "Pre-analyse templates into the cache at startup: $(docv) lists \
+             structure files, one path per line ('#' comments and blank \
+             lines skipped, relative paths resolved against the manifest's \
+             directory).  The first request against a warmed template is \
+             already a cache hit.  An unreadable or unparsable entry fails \
+             startup loudly.")
+  in
   Cmd.v
     (Cmd.info "serve" ~exits
        ~doc:"Run the long-lived JSONL solving daemon (crash-proof request loop)"
@@ -840,6 +867,18 @@ let serve_cmd =
               typed worker_crash response (code 6), optionally spooling a \
               crash-dump reproducer for 'cqc triage'.";
            `P
+             "A request frame that is a JSON array of request objects is a \
+              batch: it is answered by the array of the members' responses \
+              on one line, admission is paid once for the whole batch, and \
+              members querying the same template share one cache resolution \
+              and (when sandboxed) one forked worker.  Batches are limited \
+              to 64 members.";
+           `P
+             "--threads races the portfolio routes of each in-process solve \
+              on a domain pool (see 'cqc solve --threads'); forked sandbox \
+              workers always solve sequentially, so the flag applies to \
+              --no-sandbox daemons and --stdio sessions.";
+           `P
              "Set CQCSP_FAULT=site:seed:rate (sites: parse, admit, cache, \
               solve, respond, worker, all) to arm deterministic fault \
               injection for chaos testing; the worker site SIGKILLs freshly \
@@ -849,7 +888,7 @@ let serve_cmd =
       const serve $ socket $ stdio $ max_inflight $ max_queue $ cache_size
       $ ceiling_nodes $ ceiling_timeout $ default_nodes $ default_timeout
       $ max_frame_bytes $ sandbox $ sandbox_mem $ sandbox_cpu $ sandbox_wall
-      $ spool $ metrics_json_term $ trace_out_term)
+      $ spool $ threads_term $ warm $ metrics_json_term $ trace_out_term)
 
 (* request: a thin JSONL client for the daemon, used by the smoke tests
    and handy for ops one-liners. *)

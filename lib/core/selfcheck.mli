@@ -13,7 +13,14 @@
     cross-route disagreement surfaced by the dispatcher as
     [Error.Error (Internal _)], or any unexpected exception.  Budget
     exhaustion is not an issue — an exhausted route degrades to a skip,
-    so the oracle terminates even on adversarial seeds. *)
+    so the oracle terminates even on adversarial seeds.
+
+    With [threads > 1] the oracle additionally differentials the parallel
+    layer on every instance: the racing portfolio
+    ([Solver.solve ~threads]) joins the cross-route agreement check with
+    its certificates validated, and the sharded AC-4 and pebble engines
+    are replayed against their sequential twins on a shared domain
+    pool. *)
 
 type issue = { seed : int; what : string }
 
@@ -24,8 +31,16 @@ type report = {
   issues : issue list;  (** Empty iff the solver passed the self-check. *)
 }
 
-val run : ?max_nodes:int -> ?count:int -> ?seed:int -> unit -> report
-(** [run ?max_nodes ?count ?seed ()] checks [count] (default 500)
-    consecutive seeds starting at [seed] (default 0), giving every route
-    invocation its own fresh budget of [max_nodes] (default 50_000)
-    ticks. *)
+val instance : int -> Relational.Structure.t * Relational.Structure.t
+(** The deterministic homomorphism instance behind a seed, rotating
+    through the dispatcher's route territories.  Exposed so external
+    property tests (e.g. the racing/sequential agreement property) can
+    replay exactly the oracle's instance distribution. *)
+
+val run :
+  ?max_nodes:int -> ?count:int -> ?seed:int -> ?threads:int -> unit -> report
+(** [run ?max_nodes ?count ?seed ?threads ()] checks [count] (default
+    500) consecutive seeds starting at [seed] (default 0), giving every
+    route invocation its own fresh budget of [max_nodes] (default
+    50_000) ticks.  [threads] (default 1) > 1 adds the parallel
+    differentials described above. *)

@@ -29,6 +29,7 @@ type attempt_outcome =
   | Pruned
   | Exhausted of Budget.exhausted_reason
   | Inapplicable
+  | Cancelled
 
 let outcome_name = function
   | Decided -> "decided"
@@ -36,6 +37,7 @@ let outcome_name = function
   | Exhausted reason ->
     Printf.sprintf "exhausted(%s)" (Budget.reason_to_string reason)
   | Inapplicable -> "inapplicable"
+  | Cancelled -> "cancelled(lost race)"
 
 type attempt = {
   route : route;
@@ -69,8 +71,7 @@ type route_answer =
   | Found of Homomorphism.mapping
   | Refuted of (Budget.t -> Certificate.t option)
 
-let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
-    ?(budget = Budget.unlimited) a b =
+let solve_seq ~max_treewidth ~consistency_k ~booleanize_threshold ~budget a b =
   let attempts = ref [] in
   let solve_span = Telemetry.begin_span "solver.solve" in
   (* Close the per-attempt span (when one is open) with the attempt's
@@ -284,6 +285,344 @@ let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
   in
   match result with Some r -> r | None -> backtracking ()
 
+(* ------------------------------------------------------------------ *)
+(* Portfolio racing (threads > 1).                                      *)
+(*                                                                      *)
+(* Instead of trying routes in sequence, every applicable route runs    *)
+(* concurrently on its own domain under its own [Budget.racer]; the     *)
+(* calling domain consumes finishers in completion order and the first  *)
+(* claim that survives the trusted certificate checker wins.  Accepting *)
+(* a claim raises the shared race flag, which every other racer's       *)
+(* budget polls, so the losers abort with [Cancelled] soon after; their *)
+(* attempts are recorded with the [Cancelled] outcome and their claims  *)
+(* (if they finished anyway) are discarded — a cancelled route never    *)
+(* contributes a verdict.  An Unsat whose certificate fails the checker *)
+(* is dropped (counted as [solver.race.uncertified]) and the race       *)
+(* continues with the next finisher, preserving the proof-carrying      *)
+(* invariant of the sequential dispatcher.                              *)
+(*                                                                      *)
+(* The backtracking route is fused with the k-consistency pass into one *)
+(* task so the pruning chain survives racing: the pass either refutes   *)
+(* outright or seeds the restriction under which backtracking searches, *)
+(* exactly as in the sequential route order.                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A racer's contribution, adjudicated on the calling domain: the
+   attempts it wants recorded (chronological) and at most one claim on
+   the verdict. *)
+type claim =
+  | Claim_sat of route * Homomorphism.mapping
+  | Claim_unsat of route * Certificate.t
+  | Claim_unknown of route * Budget.exhausted_reason
+      (** The fused fallback task ran out: verdict [Unknown] unless some
+          other racer decides. *)
+  | Claim_none
+
+type finisher = { f_attempts : attempt list; f_claim : claim; f_spent : int }
+
+let solve_race ~max_treewidth ~consistency_k ~booleanize_threshold ~budget
+    ~threads a b =
+  let solve_span = Telemetry.begin_span "solver.solve" in
+  let race = ref false in
+  let span_fields route nodes outcome =
+    [
+      ("route", Telemetry.String (route_name route));
+      ("nodes", Telemetry.Int nodes);
+      ("outcome", Telemetry.String (outcome_name outcome));
+    ]
+  in
+  (* Every task runs under a private racer budget and returns a
+     finisher; spans open and close on the task's own domain.  Budget
+     exhaustion never escapes a task — a cross-route disagreement
+     ([Error.internal]) still does, loudly, through [Race.run]. *)
+  let run_task body () =
+    let s = Budget.racer budget ~cancel:race in
+    let fin = body s in
+    { fin with f_spent = Budget.spent s }
+  in
+  let no_contribution = { f_attempts = []; f_claim = Claim_none; f_spent = 0 } in
+  let one route s sp outcome claim =
+    ignore (Telemetry.end_span sp ~fields:(span_fields route (Budget.spent s) outcome));
+    {
+      f_attempts = [ { route; nodes = Budget.spent s; outcome; counters = [] } ];
+      f_claim = claim;
+      f_spent = 0;
+    }
+  in
+  (* A task body shaped like the sequential [attempt]: [None] = the
+     instance is outside the route, [Some (Found / Refuted)] = claim. *)
+  let attempted route f =
+    run_task (fun s ->
+        let sp = Telemetry.begin_span "solver.attempt" in
+        match f s with
+        | Some (Found h) -> one route s sp Decided (Claim_sat (route, h))
+        | Some (Refuted build) -> (
+          match build s with
+          | Some cert -> one route s sp Decided (Claim_unsat (route, cert))
+          | None ->
+            Error.internal
+              "route %s refuted the instance but no checkable certificate \
+               exists (cross-route disagreement)"
+              (route_name route)
+          | exception Budget.Exhausted reason ->
+            one route s sp (Exhausted reason) Claim_none)
+        | None -> one route s sp Inapplicable Claim_none
+        | exception Budget.Exhausted reason ->
+          one route s sp (Exhausted reason) Claim_none)
+  in
+  let tasks = ref [] in
+  let add t = tasks := t :: !tasks in
+  (* Route guards mirror the sequential dispatcher and run on the caller
+     where they are cheap; [decompose], which is budgeted, stays inside
+     its task. *)
+  (if Structure.size b = 2 then
+     match Schaefer.Classify.classify b with
+     | Some cls ->
+       add
+         (attempted (Schaefer_direct cls) (fun s ->
+              match Schaefer.Uniform.solve_direct ~budget:s a b with
+              | Schaefer.Uniform.Hom h -> Some (Found h)
+              | Schaefer.Uniform.No_hom ->
+                Some
+                  (Refuted (fun s -> Certify.of_schaefer_direct ~budget:s a b cls))
+              | Schaefer.Uniform.Not_applicable _ -> None))
+     | None -> ());
+  if
+    Graph_dichotomy.is_undirected_graph b
+    && Vocabulary.equal (Structure.vocabulary a) (Structure.vocabulary b)
+    && Graph_dichotomy.complexity b = Graph_dichotomy.Polynomial
+  then
+    add
+      (attempted (Graph_target Graph_dichotomy.Polynomial) (fun s ->
+           Budget.check s;
+           match Graph_dichotomy.solve a b with
+           | Some h -> Some (Found h)
+           | None -> Some (Refuted (fun _ -> Certify.of_graph a b))));
+  if Structure.size b <= booleanize_threshold && Structure.size b >= 1 then
+    add
+      (run_task (fun s ->
+           match Schaefer.Booleanize.solve a b with
+           | Schaefer.Booleanize.Not_schaefer _ -> no_contribution
+           | answer -> (
+             let cls =
+               let bb = Schaefer.Booleanize.encode_target b in
+               Option.value ~default:Schaefer.Classify.Affine
+                 (Schaefer.Classify.classify bb)
+             in
+             let route = Booleanized cls in
+             let sp = Telemetry.begin_span "solver.attempt" in
+             match answer with
+             | Schaefer.Booleanize.Hom h ->
+               one route s sp Decided (Claim_sat (route, h))
+             | Schaefer.Booleanize.No_hom -> (
+               match Certify.of_booleanized ~budget:s a b with
+               | Some cert -> one route s sp Decided (Claim_unsat (route, cert))
+               | None ->
+                 Error.internal
+                   "route %s refuted the instance but no checkable certificate \
+                    exists (cross-route disagreement)"
+                   (route_name route)
+               | exception Budget.Exhausted reason ->
+                 one route s sp (Exhausted reason) Claim_none)
+             | Schaefer.Booleanize.Not_schaefer _ -> assert false)));
+  if Treewidth.Hypergraph.is_acyclic a then
+    add
+      (attempted Acyclic (fun s ->
+           Budget.check s;
+           match Treewidth.Hypergraph.solve_acyclic a b with
+           | Some h -> Some (Found h)
+           | None -> Some (Refuted (fun _ -> Certify.of_acyclic a b))));
+  add
+    (run_task (fun s ->
+         match Treewidth.Td_solver.decompose a with
+         | exception Budget.Exhausted reason ->
+           {
+             f_attempts =
+               [
+                 {
+                   route = Bounded_treewidth max_treewidth;
+                   nodes = Budget.spent s;
+                   outcome = Exhausted reason;
+                   counters = [];
+                 };
+               ];
+             f_claim = Claim_none;
+             f_spent = 0;
+           }
+         | td ->
+           let w = Treewidth.Tree_decomposition.width td in
+           if w > max_treewidth then no_contribution
+           else begin
+             let route = Bounded_treewidth w in
+             let sp = Telemetry.begin_span "solver.attempt" in
+             match Treewidth.Td_solver.solve_with_decomposition ~budget:s td a b with
+             | Some h -> one route s sp Decided (Claim_sat (route, h))
+             | None -> (
+               match Certify.of_treewidth td a b with
+               | Some cert -> one route s sp Decided (Claim_unsat (route, cert))
+               | None ->
+                 Error.internal
+                   "route %s refuted the instance but no checkable certificate \
+                    exists (cross-route disagreement)"
+                   (route_name route)
+               | exception Budget.Exhausted reason ->
+                 one route s sp (Exhausted reason) Claim_none)
+             | exception Budget.Exhausted reason ->
+               one route s sp (Exhausted reason) Claim_none
+           end));
+  (* The fused fallback: k-consistency then backtracking under whatever
+     pruning the pass produced.  Always applicable, so the race always
+     has at least one task that yields a verdict or an Unknown claim. *)
+  add
+    (run_task (fun s ->
+         let attempts = ref [] in
+         let push route nodes outcome counters =
+           attempts := { route; nodes; outcome; counters } :: !attempts
+         in
+         let cons_route = Consistency_refutation consistency_k in
+         let slice =
+           match Budget.remaining_nodes s with
+           | None -> Budget.slice s ()
+           | Some r -> Budget.slice s ~max_nodes:(max 1 (r / 4)) ()
+         in
+         let engine_counters (st : Pebble.Game.stats) =
+           [
+             ("pebble.configs_ranked", st.Pebble.Game.configs_ranked);
+             ("pebble.deaths_propagated", st.Pebble.Game.deaths_propagated);
+             ("pebble.initial_configs", st.Pebble.Game.initial_configs);
+             ("pebble.removed", st.Pebble.Game.removed);
+             ("pebble.supports_built", st.Pebble.Game.supports_built);
+           ]
+         in
+         let restriction = ref None in
+         let sp = Telemetry.begin_span "solver.attempt" in
+         let refutation =
+           match Pebble.Game.run_traced ~budget:slice ~k:consistency_k a b with
+           | [], trace, stats ->
+             let outcome = Decided in
+             ignore
+               (Telemetry.end_span sp
+                  ~fields:(span_fields cons_route (Budget.spent slice) outcome));
+             push cons_route (Budget.spent slice) outcome (engine_counters stats);
+             Some (Claim_unsat (cons_route, Certify.of_consistency ~trace b))
+           | family, _, stats ->
+             let singles = Hashtbl.create 256 in
+             List.iter
+               (fun cfg ->
+                 match cfg with
+                 | [ (x, v) ] -> Hashtbl.replace singles (x, v) ()
+                 | _ -> ())
+               family;
+             restriction := Some (fun x v -> Hashtbl.mem singles (x, v));
+             ignore
+               (Telemetry.end_span sp
+                  ~fields:(span_fields cons_route (Budget.spent slice) Pruned));
+             push cons_route (Budget.spent slice) Pruned (engine_counters stats);
+             None
+           | exception Budget.Exhausted reason ->
+             ignore
+               (Telemetry.end_span sp
+                  ~fields:
+                    (span_fields cons_route (Budget.spent slice) (Exhausted reason)));
+             push cons_route (Budget.spent slice) (Exhausted reason) [];
+             None
+         in
+         match refutation with
+         | Some claim -> { f_attempts = List.rev !attempts; f_claim = claim; f_spent = 0 }
+         | None ->
+           let base = Budget.spent s in
+           let bt_nodes () = Budget.spent s - base in
+           let sp = Telemetry.begin_span "solver.attempt" in
+           let finish_bt outcome claim =
+             ignore
+               (Telemetry.end_span sp
+                  ~fields:(span_fields Backtracking (bt_nodes ()) outcome));
+             push Backtracking (bt_nodes ()) outcome [];
+             { f_attempts = List.rev !attempts; f_claim = claim; f_spent = 0 }
+           in
+           (match Homomorphism.decide ?restrict:!restriction ~budget:s a b with
+           | Budget.Sat h -> finish_bt Decided (Claim_sat (Backtracking, h))
+           | Budget.Unsat -> (
+             match Certify.of_backtracking ~budget:s a b with
+             | Some cert -> finish_bt Decided (Claim_unsat (Backtracking, cert))
+             | None ->
+               Error.internal
+                 "backtracking refuted the instance but the certifying search \
+                  found a homomorphism (cross-route disagreement)"
+             | exception Budget.Exhausted reason ->
+               finish_bt (Exhausted reason) (Claim_unknown (Backtracking, reason)))
+           | Budget.Unknown reason ->
+             finish_bt (Exhausted reason) (Claim_unknown (Backtracking, reason)))));
+  let tasks = Array.of_list (List.rev !tasks) in
+  let attempts = ref [] in
+  let winner = ref None in
+  let fallback = ref None in
+  let consume (ev : finisher Parallel.Race.event) =
+    let f = ev.Parallel.Race.value in
+    (* Merge the racer's spend before adjudicating, so the portfolio
+       budget reflects all work performed on its behalf. *)
+    Budget.charge budget f.f_spent;
+    let lost = !winner <> None in
+    (* After a winner: a finisher's decision was discarded and a racer
+       aborted by the race flag lost — both are [Cancelled].  A
+       pre-winner [Exhausted Cancelled] is the user's own cancellation
+       and stays as it is, as do [Pruned]/[Inapplicable]/other
+       exhaustions. *)
+    let adjust at =
+      match at.outcome with
+      | (Decided | Exhausted Budget.Cancelled) when lost ->
+        { at with outcome = Cancelled }
+      | _ -> at
+    in
+    List.iter (fun at -> attempts := adjust at :: !attempts) f.f_attempts;
+    if not lost then
+      match f.f_claim with
+      | Claim_none -> ()
+      | Claim_unknown (route, reason) ->
+        if !fallback = None then fallback := Some (route, reason)
+      | Claim_sat (route, h) ->
+        if Certificate.check a b (Certificate.Witness h) then begin
+          winner := Some (Sat h, route);
+          race := true
+        end
+        else Telemetry.count "solver.race.uncertified" 1
+      | Claim_unsat (route, cert) ->
+        if Certificate.check a b cert then begin
+          winner := Some (Unsat cert, route);
+          race := true
+        end
+        else Telemetry.count "solver.race.uncertified" 1
+  in
+  Parallel.Race.run ~threads ~tasks ~consume;
+  let finish verdict route =
+    ignore
+      (Telemetry.end_span solve_span
+         ~fields:
+           [
+             ("verdict", Telemetry.String (verdict_name verdict));
+             ("route", Telemetry.String (route_name route));
+             ("threads", Telemetry.Int threads);
+           ]);
+    { verdict; route; attempts = List.rev !attempts }
+  in
+  let global reason =
+    match Budget.status budget with Some r -> r | None -> reason
+  in
+  match !winner with
+  | Some (v, route) -> finish v route
+  | None -> (
+    match !fallback with
+    | Some (route, reason) -> finish (Unknown (global reason)) route
+    | None -> finish (Unknown (global Budget.Node_limit)) Backtracking)
+
+let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
+    ?(budget = Budget.unlimited) ?(threads = 1) a b =
+  if threads <= 1 then
+    solve_seq ~max_treewidth ~consistency_k ~booleanize_threshold ~budget a b
+  else
+    solve_race ~max_treewidth ~consistency_k ~booleanize_threshold ~budget
+      ~threads a b
+
 let exists a b =
   match (solve a b).verdict with Sat _ -> true | Unsat _ | Unknown _ -> false
 
@@ -294,6 +633,6 @@ let containment_instance q1 q2 =
   let d2, _ = Cq.Canonical.database q2 in
   (d2, d1)
 
-let solve_containment ?budget q1 q2 =
+let solve_containment ?budget ?threads q1 q2 =
   let s, t = containment_instance q1 q2 in
-  solve ?budget s t
+  solve ?budget ?threads s t

@@ -76,9 +76,14 @@ type attempt_outcome =
   | Exhausted of Budget.exhausted_reason
       (** The route ran out of its budget slice and was skipped. *)
   | Inapplicable  (** The route recognized the instance is outside it. *)
+  | Cancelled
+      (** Racing only ([threads > 1]): another route won first, so this
+          racer was cancelled mid-run or its finished claim was
+          discarded.  A cancelled route never contributes a verdict. *)
 
 val outcome_name : attempt_outcome -> string
-(** ["decided"], ["pruned"], ["exhausted(<reason>)"] or ["inapplicable"]. *)
+(** ["decided"], ["pruned"], ["exhausted(<reason>)"], ["inapplicable"]
+    or ["cancelled(lost race)"]. *)
 
 type attempt = {
   route : route;
@@ -117,6 +122,7 @@ val solve :
   ?consistency_k:int ->
   ?booleanize_threshold:int ->
   ?budget:Budget.t ->
+  ?threads:int ->
   Structure.t ->
   Structure.t ->
   result
@@ -125,7 +131,21 @@ val solve :
     refutation pass; [booleanize_threshold] (default 4) caps [|B|] for the
     Booleanization attempt.  [budget] (default unlimited) bounds the whole
     portfolio; [solve] never raises {!Budget.Exhausted} — exhaustion
-    surfaces as an [Unknown] verdict. *)
+    surfaces as an [Unknown] verdict.
+
+    [threads] (default 1) selects portfolio racing: with [threads > 1]
+    every applicable route runs concurrently on its own domain under a
+    private {!Budget.racer}, and the first finisher whose claim passes
+    the trusted [Certificate.check] wins; accepting a claim raises a
+    shared cancellation flag that aborts the losers, recorded as
+    [Cancelled] attempts.  A claim that fails the checker is dropped and
+    the race continues (counted as [solver.race.uncertified]), so racing
+    preserves the proof-carrying invariant: a cancelled or uncertified
+    route never contributes a verdict, and verdicts agree with
+    [threads = 1] (the k-consistency pass stays fused with backtracking
+    so its pruning survives).  Total spend is merged back into [budget].
+    [threads = 1] is the sequential dispatcher, bit-identical to
+    previous releases. *)
 
 val exists : Structure.t -> Structure.t -> bool
 (** Unbudgeted existence (always definitive). *)
@@ -136,7 +156,8 @@ val containment_instance : Cq.Query.t -> Cq.Query.t -> Structure.t * Structure.t
     certificate of {!solve_containment} checks against exactly this pair.
     @raise Invalid_argument when the head arities differ. *)
 
-val solve_containment : ?budget:Budget.t -> Cq.Query.t -> Cq.Query.t -> result
+val solve_containment :
+  ?budget:Budget.t -> ?threads:int -> Cq.Query.t -> Cq.Query.t -> result
 (** [Q1 ⊆ Q2] through the same dispatcher: restrictions on [Q2] surface as
     source-side structure (treewidth/acyclicity), restrictions on [Q1] as
     target-side structure (Schaefer after Booleanization).  [Sat _] means

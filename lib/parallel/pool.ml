@@ -1,0 +1,104 @@
+(* A persistent domain pool with barrier-style job dispatch.
+
+   Workers sleep on a condition variable and are woken by a generation
+   counter bump; the caller participates as shard 0, so a pool of size 1
+   owns no domains and [run] is a plain call.  All cross-domain
+   publication of the job closure and of job results goes through the
+   one mutex, which gives the happens-before edges [run]'s barrier
+   contract promises. *)
+
+type t = {
+  size : int;
+  mutable workers : unit Domain.t list;
+  mutex : Mutex.t;
+  start : Condition.t;
+  finish : Condition.t;
+  mutable generation : int;
+  mutable job : (int -> unit) option;
+  mutable pending : int;
+  mutable failure : exn option;
+  mutable stop : bool;
+}
+
+(* Record the first failure of the current job; later ones are dropped
+   (completion order — the barrier re-raises exactly one). *)
+let record_failure t exn =
+  Mutex.lock t.mutex;
+  if t.failure = None then t.failure <- Some exn;
+  Mutex.unlock t.mutex
+
+let worker t shard =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = !seen do
+      Condition.wait t.start t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      seen := t.generation;
+      let job = Option.get t.job in
+      Mutex.unlock t.mutex;
+      (try job shard with exn -> record_failure t exn);
+      Mutex.lock t.mutex;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.finish;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create n =
+  let size = max 1 n in
+  let t =
+    {
+      size;
+      workers = [];
+      mutex = Mutex.create ();
+      start = Condition.create ();
+      finish = Condition.create ();
+      generation = 0;
+      job = None;
+      pending = 0;
+      failure = None;
+      stop = false;
+    }
+  in
+  t.workers <-
+    List.init (size - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+  t
+
+let size t = t.size
+
+let run t job =
+  if t.size = 1 then job 0
+  else begin
+    Mutex.lock t.mutex;
+    t.job <- Some job;
+    t.failure <- None;
+    t.pending <- t.size - 1;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    (try job 0 with exn -> record_failure t exn);
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.finish t.mutex
+    done;
+    let failure = t.failure in
+    t.job <- None;
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match failure with None -> () | Some exn -> raise exn
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.start;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []

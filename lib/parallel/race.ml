@@ -1,0 +1,70 @@
+type 'a event = { index : int; value : 'a }
+
+(* Worker domains pull task indices from a shared atomic counter (so a
+   fast domain picks up the slack of a slow one) and push each outcome
+   into a mutex-guarded queue the caller drains in arrival order.  The
+   caller counts events rather than joining first: consumption must
+   start while slower tasks are still running — that is the whole point
+   of racing. *)
+
+let run_parallel ~domains ~tasks ~consume =
+  let ntasks = Array.length tasks in
+  let next = Atomic.make 0 in
+  let mutex = Mutex.create () in
+  let ready = Condition.create () in
+  let results : (int * ('a, exn) result) Queue.t = Queue.create () in
+  let push index outcome =
+    Mutex.lock mutex;
+    Queue.push (index, outcome) results;
+    Condition.signal ready;
+    Mutex.unlock mutex
+  in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= ntasks then continue := false
+      else
+        push i
+          (match tasks.(i) () with
+          | value -> Ok value
+          | exception exn -> Error exn)
+    done
+  in
+  let spawned = List.init domains (fun _ -> Domain.spawn worker) in
+  let failure = ref None in
+  let stash exn = if !failure = None then failure := Some exn in
+  for _ = 1 to ntasks do
+    Mutex.lock mutex;
+    while Queue.is_empty results do
+      Condition.wait ready mutex
+    done;
+    let index, outcome = Queue.pop results in
+    Mutex.unlock mutex;
+    match outcome with
+    | Error exn -> stash exn
+    | Ok value -> (
+      if !failure = None then
+        try consume { index; value } with exn -> stash exn)
+  done;
+  List.iter Domain.join spawned;
+  match !failure with None -> () | Some exn -> raise exn
+
+let run ~threads ~tasks ~consume =
+  let ntasks = Array.length tasks in
+  if ntasks = 0 then ()
+  else if threads <= 1 || ntasks = 1 then begin
+    (* Sequential degeneration: array order is completion order. *)
+    let failure = ref None in
+    let stash exn = if !failure = None then failure := Some exn in
+    Array.iteri
+      (fun index task ->
+        match task () with
+        | exception exn -> stash exn
+        | value -> (
+          if !failure = None then
+            try consume { index; value } with exn -> stash exn))
+      tasks;
+    match !failure with None -> () | Some exn -> raise exn
+  end
+  else run_parallel ~domains:(min threads ntasks) ~tasks ~consume

@@ -37,7 +37,16 @@ open Relational
     Every entry point takes an optional [?budget], ticked once per ranked
     or generated candidate mapping and per propagation step; on exhaustion
     the computation aborts by raising [Budget.Exhausted].  [Core.Solver]
-    uses this to bound the k-consistency pass in its portfolio. *)
+    uses this to bound the k-consistency pass in its portfolio.
+
+    Entry points also take an optional [?pool]: with a pool of size > 1
+    the counting engine's bulk phases — validity, support counting and
+    the death cascade — run sharded across the pool's domains in
+    bulk-synchronous rounds (ownership-partitioned writes, a barrier
+    between the read and write halves of each round), computing the
+    identical family, failure trace and statistics; workers tick private
+    {!Budget.racer} budgets whose spend merges back into [budget].  The
+    [`Naive] engine and the capacity-degraded path ignore the pool. *)
 
 type config = (int * int) list
 (** A game position: pairs [(a, b)] of pebbled elements, sorted by [a],
@@ -74,7 +83,13 @@ module Encoding : sig
 end
 
 val winning_family :
-  ?budget:Budget.t -> ?engine:engine -> k:int -> Structure.t -> Structure.t -> config list
+  ?budget:Budget.t ->
+  ?engine:engine ->
+  ?pool:Parallel.Pool.t ->
+  k:int ->
+  Structure.t ->
+  Structure.t ->
+  config list
 (** The largest restriction-closed family with the forth property; empty
     when the Spoiler wins.  @raise Invalid_argument when [k < 1].
     @raise Budget.Exhausted when [budget] runs out. *)
@@ -82,6 +97,7 @@ val winning_family :
 val winning_family_with_trace :
   ?budget:Budget.t ->
   ?engine:engine ->
+  ?pool:Parallel.Pool.t ->
   k:int ->
   Structure.t ->
   Structure.t ->
@@ -94,10 +110,22 @@ val winning_family_with_trace :
     can replay it against the raw instance ([Spoiler_win] certificates). *)
 
 val duplicator_wins :
-  ?budget:Budget.t -> ?engine:engine -> k:int -> Structure.t -> Structure.t -> bool
+  ?budget:Budget.t ->
+  ?engine:engine ->
+  ?pool:Parallel.Pool.t ->
+  k:int ->
+  Structure.t ->
+  Structure.t ->
+  bool
 
 val spoiler_wins :
-  ?budget:Budget.t -> ?engine:engine -> k:int -> Structure.t -> Structure.t -> bool
+  ?budget:Budget.t ->
+  ?engine:engine ->
+  ?pool:Parallel.Pool.t ->
+  k:int ->
+  Structure.t ->
+  Structure.t ->
+  bool
 
 type stats = {
   initial_configs : int;  (** Partial homomorphisms generated. *)
@@ -114,6 +142,7 @@ type stats = {
 val run_traced :
   ?budget:Budget.t ->
   ?engine:engine ->
+  ?pool:Parallel.Pool.t ->
   k:int ->
   Structure.t ->
   Structure.t ->
@@ -121,10 +150,22 @@ val run_traced :
 (** Family, forth-failure trace and engine statistics in one pass. *)
 
 val duplicator_wins_with_stats :
-  ?budget:Budget.t -> ?engine:engine -> k:int -> Structure.t -> Structure.t -> bool * stats
+  ?budget:Budget.t ->
+  ?engine:engine ->
+  ?pool:Parallel.Pool.t ->
+  k:int ->
+  Structure.t ->
+  Structure.t ->
+  bool * stats
 
 val solve :
-  ?budget:Budget.t -> ?engine:engine -> k:int -> Structure.t -> Structure.t -> bool option
+  ?budget:Budget.t ->
+  ?engine:engine ->
+  ?pool:Parallel.Pool.t ->
+  k:int ->
+  Structure.t ->
+  Structure.t ->
+  bool option
 (** One-sided decision for [hom(A, B)]: [Some false] when the Spoiler wins
     (definitely no homomorphism); [None] when the Duplicator wins (a
     homomorphism is possible but not guaranteed unless [not CSP(B)] is

@@ -70,55 +70,70 @@ let cancelled t = match t.cancel with Some flag -> !flag | None -> false
    [<=] the real time, so a deadline can fire late by at most one stride
    (~2ms, far under the documented 10ms slack) but never early.
 
-   The cache is shared by all budgets: it is just a clock. *)
+   The cache and its calibration live in domain-local storage: each
+   domain calibrates against its own probe rate, and no probe ever
+   writes memory another domain reads, so ticking budgets concurrently
+   on several domains is race-free.  Only the diagnostic read counter
+   is cross-domain, as a relaxed [Atomic]. *)
 
 let target_stride_s = 0.002
 let max_stride = 16384
-let stride = ref 1
-let probes_left = ref 0
-let cached_now = ref neg_infinity
-let last_real_read = ref neg_infinity
-let real_reads = ref 0
 
-let clock_reads () = !real_reads
+type clock = {
+  mutable stride : int;
+  mutable probes_left : int;
+  mutable cached_now : float;
+  mutable last_real_read : float;
+}
+
+let fresh_clock () =
+  { stride = 1; probes_left = 0; cached_now = neg_infinity; last_real_read = neg_infinity }
+
+let clock_key = Domain.DLS.new_key fresh_clock
+
+let real_reads = Atomic.make 0
+
+let clock_reads () = Atomic.get real_reads
 
 let reset_clock_stats () =
-  real_reads := 0;
-  stride := 1;
-  probes_left := 0;
-  cached_now := neg_infinity;
-  last_real_read := neg_infinity
+  Atomic.set real_reads 0;
+  let c = Domain.DLS.get clock_key in
+  c.stride <- 1;
+  c.probes_left <- 0;
+  c.cached_now <- neg_infinity;
+  c.last_real_read <- neg_infinity
 
-let read_clock () =
+let read_clock c =
   let now = Unix.gettimeofday () in
-  incr real_reads;
-  (* Recalibrate: during the stride just consumed we made [!stride]
+  Atomic.incr real_reads;
+  (* Recalibrate: during the stride just consumed we made [c.stride]
      probes over [now - last] seconds; scale toward [target_stride_s]
      per stride, growing at most 4x per step so one long pause between
      probes cannot blow the stride up past what the probe rate supports. *)
-  let elapsed = now -. !last_real_read in
-  if !last_real_read > neg_infinity && elapsed > 0. then begin
-    let ideal = float_of_int !stride *. target_stride_s /. elapsed in
-    let next = int_of_float (Float.min ideal (float_of_int (!stride * 4))) in
-    stride := max 1 (min max_stride next)
+  let elapsed = now -. c.last_real_read in
+  if c.last_real_read > neg_infinity && elapsed > 0. then begin
+    let ideal = float_of_int c.stride *. target_stride_s /. elapsed in
+    let next = int_of_float (Float.min ideal (float_of_int (c.stride * 4))) in
+    c.stride <- max 1 (min max_stride next)
   end;
-  last_real_read := now;
-  cached_now := now;
-  probes_left := !stride;
+  c.last_real_read <- now;
+  c.cached_now <- now;
+  c.probes_left <- c.stride;
   now
 
 let strided_now () =
-  if !probes_left <= 0 then read_clock ()
+  let c = Domain.DLS.get clock_key in
+  if c.probes_left <= 0 then read_clock c
   else begin
-    decr probes_left;
-    !cached_now
+    c.probes_left <- c.probes_left - 1;
+    c.cached_now
   end
 
 let exact_now () =
   let now = Unix.gettimeofday () in
-  incr real_reads;
+  Atomic.incr real_reads;
   (* Refresh the cache for free: an exact read is also a real read. *)
-  cached_now := now;
+  (Domain.DLS.get clock_key).cached_now <- now;
   now
 
 let past_deadline t = t.deadline < infinity && exact_now () > t.deadline
@@ -164,4 +179,41 @@ let slice parent ?max_nodes ?timeout () =
     if parent.deadline < child.deadline then
       { child with deadline = parent.deadline }
     else child
+  end
+
+(* A [slice] ticks its parent on every tick — a data race if the slices
+   run on different domains.  A [racer] instead copies the parent's
+   remaining allowance and absolute deadline into an independent budget
+   owned by one domain, polls the race's own cancellation flag, and
+   reaches the parent's *user* cancellation flag through a node-less
+   upstream stub (each racer gets its own stub, so nothing mutable is
+   shared).  Spent nodes are merged back with {!charge} once the racer
+   is done. *)
+let racer parent ~cancel =
+  let upstream =
+    match parent.cancel with
+    | None -> None
+    | Some _ ->
+      Some
+        {
+          max_nodes = no_limit;
+          deadline = infinity;
+          cancel = parent.cancel;
+          parent = None;
+          nodes = 0;
+        }
+  in
+  {
+    max_nodes =
+      (match remaining_nodes parent with None -> no_limit | Some r -> r);
+    deadline = parent.deadline;
+    cancel = Some cancel;
+    parent = upstream;
+    nodes = 0;
+  }
+
+let rec charge t n =
+  if n > 0 then begin
+    t.nodes <- t.nodes + n;
+    match t.parent with Some p -> charge p n | None -> ()
   end

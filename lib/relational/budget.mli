@@ -9,7 +9,11 @@
 
     [tick] is cheap: a node-limit comparison per call, with the clock and
     the cancellation flag polled only every few hundred ticks.  Budgets are
-    single-threaded mutable values; do not share one across domains. *)
+    single-domain mutable values; do not share one across domains — give
+    each domain its own budget built with {!racer} and merge the spend
+    back with {!charge}.  The strided clock behind [tick] is
+    domain-local, so ticking distinct budgets on distinct domains is
+    race-free. *)
 
 type exhausted_reason =
   | Node_limit  (** The node allowance was consumed. *)
@@ -80,13 +84,15 @@ val tick : t -> unit
 
 val clock_reads : unit -> int
 (** Number of real [Unix.gettimeofday] calls made by deadline probes
-    (strided and exact) since start-up or {!reset_clock_stats}.  For
-    tests and bench experiments demonstrating the strided clock: compare
-    against ticks consumed to see the syscall reduction. *)
+    (strided and exact) since start-up or {!reset_clock_stats}, summed
+    over all domains.  For tests and bench experiments demonstrating the
+    strided clock: compare against ticks consumed to see the syscall
+    reduction. *)
 
 val reset_clock_stats : unit -> unit
-(** Reset {!clock_reads} to zero and drop the strided-clock cache and
-    calibration, forcing the next probe to perform a real read. *)
+(** Reset {!clock_reads} to zero and drop the *calling domain's*
+    strided-clock cache and calibration, forcing its next probe to
+    perform a real read.  Other domains' caches decay on their own. *)
 
 val slice : t -> ?max_nodes:int -> ?timeout:float -> unit -> t
 (** [slice parent ?max_nodes ?timeout ()] is a child budget for one phase
@@ -95,4 +101,25 @@ val slice : t -> ?max_nodes:int -> ?timeout:float -> unit -> t
     from now and the parent's, and it shares the parent's cancellation
     flag.  Ticks on the child also count against the parent, so exhausting
     the parent exhausts every child.  Slicing {!unlimited} just creates an
-    independent budget. *)
+    independent budget.  A slice ticks its parent on every tick, so it
+    must stay on the parent's domain — use {!racer} to hand work to
+    another domain. *)
+
+val racer : t -> cancel:bool ref -> t
+(** [racer parent ~cancel] is an independent budget for one competitor
+    in a parallel race: its node allowance is the parent's remaining
+    allowance (each racer gets the full remainder — the race is expected
+    to cancel the losers, and actual spend is reconciled with {!charge}),
+    its deadline is the parent's absolute deadline, and it exhausts with
+    [Cancelled] when [!cancel] becomes true {e or} when the parent's own
+    cancellation flag fires (the user's flag is reachable through a
+    private, node-less upstream link, so nothing mutable is shared
+    between racers or with the parent).  Safe to tick on a different
+    domain than the parent's. *)
+
+val charge : t -> int -> unit
+(** [charge t n] adds [n] already-performed ticks to [t]'s node count
+    and, transitively, its parents'.  Never raises — it is bookkeeping
+    for work a {!racer} (or a sandboxed worker) did elsewhere, applied
+    after the fact on the owning domain; a subsequent {!tick} or
+    {!check} surfaces any limit the merged spend crossed. *)

@@ -26,6 +26,7 @@ val find :
   ?ordering:[ `Mrv | `Input ] ->
   ?restrict:(int -> int -> bool) ->
   ?budget:Budget.t ->
+  ?pool:Parallel.Pool.t ->
   Structure.t ->
   Structure.t ->
   mapping option
@@ -33,13 +34,17 @@ val find :
     prunes target candidate [v] for source element [x] up front — used, e.g.,
     to search for non-surjective endomorphisms.  [ordering] selects the
     branching-variable heuristic: minimum-remaining-values (default) or
-    plain input order (for ablations).
+    plain input order (for ablations).  [pool] shards the root
+    arc-consistency establish across domains (see
+    {!Arc_consistency.establish}); the backtracking search itself stays
+    on the calling domain.
     @raise Budget.Exhausted when [budget] runs out mid-search. *)
 
 val find_with_stats :
   ?ordering:[ `Mrv | `Input ] ->
   ?restrict:(int -> int -> bool) ->
   ?budget:Budget.t ->
+  ?pool:Parallel.Pool.t ->
   Structure.t ->
   Structure.t ->
   mapping option * stats
@@ -48,6 +53,7 @@ val decide :
   ?ordering:[ `Mrv | `Input ] ->
   ?restrict:(int -> int -> bool) ->
   ?budget:Budget.t ->
+  ?pool:Parallel.Pool.t ->
   Structure.t ->
   Structure.t ->
   mapping Budget.outcome

@@ -1,0 +1,59 @@
+type t = { lock : Mutex.t; table : (string, int array) Hashtbl.t }
+
+let nbuckets = 16
+
+let create () = { lock = Mutex.create (); table = Hashtbl.create 8 }
+
+(* Bucket 0: < 1 ms; bucket i: [2^(i-1), 2^i) ms; last bucket: overflow
+   (>= 2^(nbuckets-2) ms, ~16 s).  log2 is monotone so the comparison
+   form below avoids float-precision edge cases at the bucket bounds. *)
+let bucket_of_ms ms =
+  if not (ms >= 1.) then 0
+  else begin
+    let b = ref 1 in
+    let bound = ref 2. in
+    while !b < nbuckets - 1 && ms >= !bound do
+      incr b;
+      bound := !bound *. 2.
+    done;
+    !b
+  end
+
+let le_label i =
+  if i >= nbuckets - 1 then "le_infms" else Printf.sprintf "le_%dms" (1 lsl i)
+
+let record t ~route ms =
+  let b = bucket_of_ms ms in
+  Mutex.lock t.lock;
+  let h =
+    match Hashtbl.find_opt t.table route with
+    | Some h -> h
+    | None ->
+      let h = Array.make nbuckets 0 in
+      Hashtbl.add t.table route h;
+      h
+  in
+  h.(b) <- h.(b) + 1;
+  Mutex.unlock t.lock;
+  Telemetry.count (Printf.sprintf "serve.latency.%s.%s" route (le_label b)) 1
+
+let to_json t =
+  Mutex.lock t.lock;
+  let entries =
+    Hashtbl.fold (fun route h acc -> (route, Array.copy h) :: acc) t.table []
+  in
+  Mutex.unlock t.lock;
+  let entries =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+  in
+  Json.Obj
+    (List.map
+       (fun (route, h) ->
+         let count = Array.fold_left ( + ) 0 h in
+         let buckets =
+           List.filter_map
+             (fun i -> if h.(i) > 0 then Some (le_label i, Json.Int h.(i)) else None)
+             (List.init nbuckets Fun.id)
+         in
+         (route, Json.Obj [ ("count", Json.Int count); ("buckets", Json.Obj buckets) ]))
+       entries)

@@ -14,6 +14,10 @@
     [id] is optional and echoed back verbatim (any JSON value); budget
     fields are optional and clamped by the server-wide ceilings.
 
+    A frame that is a JSON {e array} of request objects is a {e batch}
+    (see {!Server.handle_line}): it is answered by the array of the
+    members' responses, in order, on one line.
+
     {2 Responses}
 
     Every response is an object with ["id"] (echoed, [null] when the

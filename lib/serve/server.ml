@@ -10,6 +10,8 @@ type config = {
   release : unit -> unit;
   sandbox : Worker.pool option;
   spool_dir : string option;
+  threads : int;
+  latency : Latency.t;
 }
 
 let default_config ?(cache_capacity = 64) () =
@@ -25,7 +27,14 @@ let default_config ?(cache_capacity = 64) () =
     release = (fun () -> ());
     sandbox = None;
     spool_dir = None;
+    threads = 1;
+    latency = Latency.create ();
   }
+
+(* Members of a batch frame may solve on a worker or in process; the
+   largest group shares one watchdog wall-clock, so batches are bounded
+   to keep a single frame from monopolising a worker slot. *)
+let max_batch = 64
 
 (* ------------------------------------------------------------------ *)
 (* The request handler — the isolation boundary                         *)
@@ -70,10 +79,82 @@ let attempts_nodes attempts =
     (fun acc { Core.Solver.nodes; _ } -> acc + nodes)
     0 attempts
 
-(* Solve (A, B) with the template side routed through the cache; returns
-   the response.  [certify] re-derives the verdict's certificate with the
+(* The template side routed through the cache once: the interned
+   structure plus the cache status to echo in responses. *)
+let resolve_template cfg b =
+  let lookup, _fp = Cache.lookup cfg.cache b in
+  match lookup with
+  | Cache.Hit interned -> (interned, "hit")
+  | Cache.Miss interned -> (interned, "miss")
+  | Cache.Poisoned _ -> (b, "poisoned")
+
+(* The in-process solve of one request against an already-resolved
+   template.  [certify] re-derives the verdict's certificate with the
    trusted checker — a rejection is an internal error, raised and mapped
-   at the boundary like everything else.
+   at the boundary like everything else.  [threads] > 1 races the
+   portfolio routes on a domain pool; callers inside a forked sandbox
+   worker must pass 1 — fork and domains do not mix. *)
+let solve_now cfg ~threads ~id ~op ~certify ~max_nodes ~timeout a
+    (b, cache_status) =
+  let budget = budget_for cfg ~max_nodes ~timeout in
+  Fault.trip Fault.Solve;
+  let t0 = Unix.gettimeofday () in
+  let r = Core.Solver.solve ~budget ~threads a b in
+  (* Microsecond precision is plenty; full-precision floats bloat frames. *)
+  let elapsed_ms = Float.round (1e6 *. (Unix.gettimeofday () -. t0)) /. 1000. in
+  let certified =
+    if not certify then None
+    else
+      match Core.Solver.certificate r with
+      | None -> None
+      | Some c ->
+        if Certificate.check a b c then Some true
+        else
+          Core.Error.internal
+            "the checker rejected the %s certificate of route %s"
+            (Certificate.describe c)
+            (Core.Solver.route_name r.Core.Solver.route)
+  in
+  Protocol.ok_verdict ~id ~op ~verdict:r.Core.Solver.verdict
+    ~route:(Core.Solver.route_name r.Core.Solver.route)
+    ~cache:cache_status
+    ~nodes:(attempts_nodes r.Core.Solver.attempts)
+    ~elapsed_ms ~certified
+
+(* File one response into the per-route latency histogram.  The solve's
+   own [elapsed_ms] is preferred when the response carries one (so a
+   sandboxed solve reports child-side time, not fork overhead); error
+   and crash responses land under route "none" with the caller's
+   wall-clock. *)
+let record_latency cfg ~wall_ms resp =
+  (match resp with
+  | Json.Obj fields ->
+    let route =
+      match List.assoc_opt "route" fields with
+      | Some (Json.String r) -> r
+      | _ -> "none"
+    in
+    let ms =
+      match List.assoc_opt "elapsed_ms" fields with
+      | Some (Json.Float f) -> f
+      | Some (Json.Int i) -> float_of_int i
+      | _ -> wall_ms
+    in
+    Latency.record cfg.latency ~route ms
+  | _ -> ());
+  resp
+
+let dump_for cfg ~line pool ~crash ~detail ~attempts =
+  match cfg.spool_dir with
+  | None -> None
+  | Some dir ->
+    Some
+      (Dump.write ~dir
+         (Dump.make ~line ~crash ~detail ~attempts
+            ~limits:(Worker.pool_limits pool)))
+
+(* Solve (A, B), resolving the template through the cache; returns the
+   response.
 
    With a sandbox pool, the solve itself runs inside a forked worker
    under {!Worker.supervise}; the cache lookup stays in the parent on
@@ -83,62 +164,27 @@ let attempts_nodes attempts =
    request is near some resource cliff, so the second attempt must be
    strictly cheaper. *)
 let solve_instance cfg ~line ~id ~op ~certify ~max_nodes ~timeout a b =
-  let lookup, _fp = Cache.lookup cfg.cache b in
-  let b, cache_status =
-    match lookup with
-    | Cache.Hit interned -> (interned, "hit")
-    | Cache.Miss interned -> (interned, "miss")
-    | Cache.Poisoned _ -> (b, "poisoned")
+  let resolved = resolve_template cfg b in
+  let t0 = Unix.gettimeofday () in
+  let response =
+    match cfg.sandbox with
+    | None ->
+      solve_now cfg ~threads:cfg.threads ~id ~op ~certify ~max_nodes ~timeout a
+        resolved
+    | Some pool ->
+      Worker.supervise pool ~id ~dump:(dump_for cfg ~line pool)
+        (fun ~degraded ->
+          Worker.test_abort_hook a;
+          let max_nodes =
+            if not degraded then max_nodes
+            else
+              let cap = Worker.retry_nodes pool in
+              Some (match max_nodes with Some n -> min n cap | None -> cap)
+          in
+          solve_now cfg ~threads:1 ~id ~op ~certify ~max_nodes ~timeout a
+            resolved)
   in
-  let solve_now ~max_nodes =
-    let budget = budget_for cfg ~max_nodes ~timeout in
-    Fault.trip Fault.Solve;
-    let t0 = Unix.gettimeofday () in
-    let r = Core.Solver.solve ~budget a b in
-    (* Microsecond precision is plenty; full-precision floats bloat frames. *)
-    let elapsed_ms =
-      Float.round (1e6 *. (Unix.gettimeofday () -. t0)) /. 1000.
-    in
-    let certified =
-      if not certify then None
-      else
-        match Core.Solver.certificate r with
-        | None -> None
-        | Some c ->
-          if Certificate.check a b c then Some true
-          else
-            Core.Error.internal
-              "the checker rejected the %s certificate of route %s"
-              (Certificate.describe c)
-              (Core.Solver.route_name r.Core.Solver.route)
-    in
-    Protocol.ok_verdict ~id ~op ~verdict:r.Core.Solver.verdict
-      ~route:(Core.Solver.route_name r.Core.Solver.route)
-      ~cache:cache_status
-      ~nodes:(attempts_nodes r.Core.Solver.attempts)
-      ~elapsed_ms ~certified
-  in
-  match cfg.sandbox with
-  | None -> solve_now ~max_nodes
-  | Some pool ->
-    let dump ~crash ~detail ~attempts =
-      match cfg.spool_dir with
-      | None -> None
-      | Some dir ->
-        Some
-          (Dump.write ~dir
-             (Dump.make ~line ~crash ~detail ~attempts
-                ~limits:(Worker.pool_limits pool)))
-    in
-    Worker.supervise pool ~id ~dump (fun ~degraded ->
-        Worker.test_abort_hook a;
-        let max_nodes =
-          if not degraded then max_nodes
-          else
-            let cap = Worker.retry_nodes pool in
-            Some (match max_nodes with Some n -> min n cap | None -> cap)
-        in
-        solve_now ~max_nodes)
+  record_latency cfg ~wall_ms:((Unix.gettimeofday () -. t0) *. 1000.) response
 
 let stats_fields cfg =
   let c = Cache.stats cfg.cache in
@@ -159,6 +205,7 @@ let stats_fields cfg =
         (List.map
            (fun (site, n) -> (site, Json.Int n))
            (Fault.injected_per_site ())) );
+    ("latency_ms", Latency.to_json cfg.latency);
     ( "workers",
       match cfg.sandbox with
       | None -> Json.Obj [ ("sandbox", Json.Bool false) ]
@@ -227,6 +274,208 @@ let dispatch cfg ~line (req : Protocol.request) =
               ~max_nodes:req.max_nodes ~timeout:req.timeout a b
           | Protocol.Ping | Protocol.Stats -> assert false))
 
+(* ------------------------------------------------------------------ *)
+(* Batch frames                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A JSON array frame is a batch: each element is a request, and the
+   response is the array of their responses, in order, on one line.
+   Verdict-bearing members pass admission once as a unit, and members
+   sharing a template — identical "target" text for solve, identical
+   "q1" text for contain (the template side of a containment instance is
+   q1's canonical database) — are grouped so that each distinct template
+   is parsed and cache-resolved once and, with a sandbox, each group
+   costs one forked worker instead of one per member.  That is the whole
+   point of batching: N queries against the same structure amortize one
+   cache lookup and one fork. *)
+
+let template_key (req : Protocol.request) =
+  match req.Protocol.op with
+  | Protocol.Solve -> ("solve", Option.value ~default:"" req.Protocol.target)
+  | Protocol.Contain -> ("contain", Option.value ~default:"" req.Protocol.q1)
+  | Protocol.Ping | Protocol.Stats -> assert false
+
+let with_id id = function
+  | Json.Obj fields ->
+    Json.Obj (("id", id) :: List.filter (fun (k, _) -> k <> "id") fields)
+  | j -> j
+
+(* The (A, resolved-B) instance of one group member.  [shared] lazily
+   parses and cache-resolves the group's solve template, so a bad
+   template text answers every member with the same typed error; contain
+   members re-derive their instance (cheap) and hit the cache that the
+   group's first member warmed. *)
+let member_instance cfg ~shared (req : Protocol.request) =
+  let get field = function
+    | Some v -> v
+    | None -> Core.Error.internal "missing validated field %S" field
+  in
+  match req.Protocol.op with
+  | Protocol.Solve ->
+    let a = parse_structure ~what:"source" (get "source" req.Protocol.source) in
+    (a, Lazy.force shared)
+  | Protocol.Contain ->
+    let q1 = parse_query ~what:"q1" (get "q1" req.Protocol.q1) in
+    let q2 = parse_query ~what:"q2" (get "q2" req.Protocol.q2) in
+    let a, b =
+      match Core.Solver.containment_instance q1 q2 with
+      | pair -> pair
+      | exception Invalid_argument msg -> Core.Error.bad_input "%s" msg
+    in
+    (a, resolve_template cfg b)
+  | Protocol.Ping | Protocol.Stats -> assert false
+
+(* Answer one template group.  All parsing and cache resolution happens
+   in the parent (children must inherit warm templates copy-on-write,
+   never build their own); the sandboxed compute returns the list of
+   member responses as a single [Json.List] frame, distinguishable from
+   a terminal crash response, which is an object and is re-keyed to
+   every member's id. *)
+let solve_group cfg ~line responses members =
+  let shared =
+    lazy
+      (let _, first = List.hd members in
+       let text = Option.value ~default:"" first.Protocol.target in
+       resolve_template cfg (parse_structure ~what:"target" text))
+  in
+  let runnable =
+    List.filter_map
+      (fun (i, req) ->
+        match member_instance cfg ~shared req with
+        | ab -> Some (i, req, ab)
+        | exception e ->
+          responses.(i) <- Protocol.error_of_exn ~id:req.Protocol.id e;
+          None)
+      members
+  in
+  match (runnable, cfg.sandbox) with
+  | [], _ -> ()
+  | runnable, None ->
+    List.iter
+      (fun (i, (req : Protocol.request), (a, b)) ->
+        let t0 = Unix.gettimeofday () in
+        let resp =
+          try
+            solve_now cfg ~threads:cfg.threads ~id:req.id ~op:req.op
+              ~certify:req.certify ~max_nodes:req.max_nodes
+              ~timeout:req.timeout a b
+          with e -> Protocol.error_of_exn ~id:req.id e
+        in
+        responses.(i) <-
+          record_latency cfg
+            ~wall_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+            resp)
+      runnable
+  | runnable, Some pool ->
+    let ids =
+      Json.List (List.map (fun (_, req, _) -> req.Protocol.id) runnable)
+    in
+    let t0 = Unix.gettimeofday () in
+    let reply =
+      Worker.supervise pool ~id:ids ~dump:(dump_for cfg ~line pool)
+        (fun ~degraded ->
+          Json.List
+            (List.map
+               (fun (_, (req : Protocol.request), (a, b)) ->
+                 try
+                   Worker.test_abort_hook a;
+                   let max_nodes =
+                     if not degraded then req.max_nodes
+                     else
+                       let cap = Worker.retry_nodes pool in
+                       Some
+                         (match req.max_nodes with
+                         | Some n -> min n cap
+                         | None -> cap)
+                   in
+                   solve_now cfg ~threads:1 ~id:req.id ~op:req.op
+                     ~certify:req.certify ~max_nodes ~timeout:req.timeout a b
+                 with e -> Protocol.error_of_exn ~id:req.id e)
+               runnable))
+    in
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    (match reply with
+    | Json.List rs when List.length rs = List.length runnable ->
+      List.iter2
+        (fun (i, _, _) r -> responses.(i) <- record_latency cfg ~wall_ms r)
+        runnable rs
+    | crash ->
+      (* A terminal worker crash (or a protocol-garbled frame) is one
+         object; every member of the lost group gets it, under its own
+         id, so batch accounting stays one-response-per-member. *)
+      List.iter
+        (fun (i, (req : Protocol.request), _) ->
+          responses.(i) <-
+            record_latency cfg ~wall_ms (with_id req.Protocol.id crash))
+        runnable)
+
+let handle_batch cfg ~line items =
+  let n = List.length items in
+  if n = 0 then Core.Error.bad_input "batch frame must contain at least one request";
+  if n > max_batch then
+    Core.Error.bad_input "batch frame of %d requests exceeds the %d-request limit"
+      n max_batch;
+  Telemetry.count "serve.batch" 1;
+  Telemetry.count "serve.batch.requests" n;
+  let responses = Array.make n Json.Null in
+  let solves = ref [] in
+  List.iteri
+    (fun i item ->
+      match Protocol.request_of_json item with
+      | Error msg ->
+        responses.(i) <-
+          Protocol.error ~id:(Protocol.id_of_json item)
+            (Core.Error.Bad_input msg)
+      | Ok req -> (
+        match req.Protocol.op with
+        | Protocol.Ping -> responses.(i) <- Protocol.ok_ping ~id:req.Protocol.id
+        | Protocol.Stats ->
+          responses.(i) <-
+            Protocol.ok_stats ~id:req.Protocol.id ~fields:(stats_fields cfg)
+        | Protocol.Solve | Protocol.Contain ->
+          solves := (i, req) :: !solves))
+    items;
+  let solves = List.rev !solves in
+  (if solves <> [] then begin
+     Fault.trip Fault.Admit;
+     match cfg.admit () with
+     | `Shed message ->
+       Telemetry.count "serve.shed" 1;
+       List.iter
+         (fun (i, (req : Protocol.request)) ->
+           responses.(i) <- Protocol.shed ~id:req.id ~message)
+         solves
+     | `Cancelled ->
+       List.iter
+         (fun (i, (req : Protocol.request)) ->
+           responses.(i) <-
+             Protocol.error ~id:req.id
+               (Core.Error.Budget_exhausted Relational.Budget.Cancelled))
+         solves
+     | `Go ->
+       Fun.protect ~finally:cfg.release (fun () ->
+           (* Group members by template, preserving first-appearance
+              order of groups and request order within each group. *)
+           let order = ref [] in
+           let groups = Hashtbl.create 8 in
+           List.iter
+             (fun (i, req) ->
+               let key = template_key req in
+               (match Hashtbl.find_opt groups key with
+               | None -> order := key :: !order
+               | Some _ -> ());
+               Hashtbl.replace groups key
+                 ((i, req)
+                 :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+             solves;
+           List.iter
+             (fun key ->
+               let members = List.rev (Hashtbl.find groups key) in
+               solve_group cfg ~line responses members)
+             (List.rev !order))
+   end);
+  Json.List (Array.to_list responses)
+
 let handle_line cfg line =
   Telemetry.count "serve.requests" 1;
   let id = ref Json.Null in
@@ -243,17 +492,24 @@ let handle_line cfg line =
           Core.Error.bad_input "bad frame: %s" msg
       in
       id := Protocol.id_of_json j;
-      match Protocol.request_of_json j with
-      | Error msg -> Protocol.error ~id:!id (Core.Error.Bad_input msg)
-      | Ok req -> dispatch cfg ~line req
+      match j with
+      | Json.List items -> handle_batch cfg ~line items
+      | _ -> (
+        match Protocol.request_of_json j with
+        | Error msg -> Protocol.error ~id:!id (Core.Error.Bad_input msg)
+        | Ok req -> dispatch cfg ~line req)
     with e -> Protocol.error_of_exn ~id:!id e
   in
+  let count_status = function
+    | Json.Obj fields -> (
+      match List.assoc_opt "status" fields with
+      | Some (Json.String s) -> Telemetry.count ("serve.response." ^ s) 1
+      | _ -> ())
+    | _ -> ()
+  in
   (match response with
-  | Json.Obj fields -> (
-    match List.assoc_opt "status" fields with
-    | Some (Json.String s) -> Telemetry.count ("serve.response." ^ s) 1
-    | _ -> ())
-  | _ -> ());
+  | Json.List members -> List.iter count_status members
+  | r -> count_status r);
   match
     Fault.trip Fault.Respond;
     Json.to_string response
@@ -347,7 +603,46 @@ type options = {
   opt_sandbox_cpu_seconds : int option;
   opt_sandbox_wall_seconds : float;
   opt_spool_dir : string option;
+  opt_threads : int;
+  opt_warm_manifest : string option;
 }
+
+(* Cache warm-up: the manifest lists structure files, one path per line
+   (blank lines and #-comments skipped; relative paths resolve against
+   the manifest's own directory).  Runs at startup, outside the
+   isolation boundary on purpose: a missing file or bad template text
+   must fail the daemon loudly at launch, not poison a cache key
+   silently under traffic. *)
+let warm_cache cache manifest =
+  let dir = Filename.dirname manifest in
+  let read_file what path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> text
+    | exception Sys_error msg -> Core.Error.bad_input "cannot read %s: %s" what msg
+  in
+  let warmed = ref 0 in
+  String.split_on_char '\n' (read_file "warm manifest" manifest)
+  |> List.iter (fun raw ->
+         let path = String.trim raw in
+         if path <> "" && path.[0] <> '#' then begin
+           let path =
+             if Filename.is_relative path then Filename.concat dir path
+             else path
+           in
+           let b =
+             parse_structure
+               ~what:(Printf.sprintf "warm template (%s)" path)
+               (read_file (Printf.sprintf "warm template %s" path) path)
+           in
+           (match Cache.lookup cache b with
+           | Cache.Poisoned msg, _ ->
+             Core.Error.bad_input "warm template %s failed to build: %s" path
+               msg
+           | (Cache.Hit _ | Cache.Miss _), _ -> ());
+           incr warmed
+         end);
+  Telemetry.count "serve.cache.warmed" !warmed;
+  !warmed
 
 (* EINTR-safe read: signals interrupt blocked reads; only shutdown (via
    socket shutdown, yielding 0) should end the loop. *)
@@ -507,6 +802,8 @@ let config_of_options opts ~cancel ~admission =
         match admission with Some adm -> Admission.release adm | None -> ());
     sandbox = pool_of_options opts;
     spool_dir = opts.opt_spool_dir;
+    threads = max 1 opts.opt_threads;
+    latency = Latency.create ();
   }
 
 let run_stdio cfg ~shutdown =
@@ -585,6 +882,7 @@ let run opts =
   match opts.mode with
   | Stdio ->
     let cfg = config_of_options opts ~cancel ~admission:None in
+    Option.iter (fun m -> ignore (warm_cache cfg.cache m)) opts.opt_warm_manifest;
     let note_shutdown () =
       shutdown := true;
       cancel := true
@@ -602,4 +900,5 @@ let run opts =
         ~shutdown
     in
     let cfg = config_of_options opts ~cancel ~admission:(Some admission) in
+    Option.iter (fun m -> ignore (warm_cache cfg.cache m)) opts.opt_warm_manifest;
     run_socket cfg ~shutdown ~admission:(Some admission) path

@@ -53,6 +53,14 @@ type config = {
   spool_dir : string option;
       (** Where terminal crashes spool their dump artifacts; [None]
           disables dumps (crash responses still carry the class). *)
+  threads : int;
+      (** Portfolio-racing width for in-process solves.  Forked sandbox
+          workers always solve with [threads = 1]: fork and domains do
+          not mix, so racing only applies to [--no-sandbox] daemons and
+          stdio sessions. *)
+  latency : Latency.t;
+      (** Per-route solve-latency histograms, surfaced by the [stats]
+          op and (via telemetry counters) [--metrics-json]. *)
 }
 
 val default_config : ?cache_capacity:int -> unit -> config
@@ -62,7 +70,18 @@ val default_config : ?cache_capacity:int -> unit -> config
 val handle_line : config -> string -> string
 (** Process one frame (without its newline); returns one response line
     (without a newline).  Total: never raises, never blocks on anything
-    but the solve itself. *)
+    but the solve itself.
+
+    A frame that is a JSON {e array} of request objects is a {e batch}:
+    its response line is the JSON array of the members' responses, in
+    order.  The batch passes admission once as a unit, and members
+    solving against the same template (identical [target] text for
+    solve, identical [q1] text for contain) share one template-cache
+    resolution and — when sandboxed — one forked worker, so N queries
+    against the same structure cost one cache lookup and one fork.
+    Member failures (bad member shape, bad structure text, a terminal
+    worker crash taking down the group) are answered per member with
+    the usual typed error objects; batches are limited to 64 members. *)
 
 type socket_mode = Unix_socket of string | Stdio
 
@@ -81,6 +100,13 @@ type options = {
   opt_sandbox_cpu_seconds : int option;  (** RLIMIT_CPU; [None] inherits. *)
   opt_sandbox_wall_seconds : float;  (** Watchdog deadline. *)
   opt_spool_dir : string option;  (** Crash-dump spool directory. *)
+  opt_threads : int;  (** In-process portfolio-racing width (min 1). *)
+  opt_warm_manifest : string option;
+      (** Template manifest pre-analysed into the cache at startup: one
+          structure-file path per line, [#] comments and blank lines
+          skipped, relative paths resolved against the manifest's
+          directory.  An unreadable or unparsable entry fails startup
+          loudly (startup is outside the isolation boundary). *)
 }
 
 val run : options -> int

@@ -122,17 +122,26 @@ type span = {
 
 let sink : Sink.t option ref = ref None
 
-let stack : span list ref = ref []
+(* The span stack is domain-local: spans opened on a domain nest with
+   (and roll up into) that domain's own enclosing spans, so parallel
+   phases on worker domains attribute their counter deltas to their own
+   spans rather than racing for one global stack.  The global counter
+   totals below still see every increment — merged under the lock at
+   count/close time. *)
+let stack_key : span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
 
 let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
 
 let timers : (string, (float ref * int ref)) Hashtbl.t = Hashtbl.create 16
 
-(* The tables, span stack and sink emissions are process-global; the
-   serve daemon bumps them from concurrent request threads.  Every
-   mutation and emission runs under this lock.  The telemetry-off fast
-   path (no sink installed) never touches the lock, so disabled overhead
-   stays the single branch measured by bench E18. *)
+(* The tables and sink emissions are process-global; the serve daemon
+   bumps them from concurrent request threads and parallel phases bump
+   them from worker domains.  Every mutation and emission runs under
+   this lock.  The telemetry-off fast path (no sink installed) never
+   touches the lock, so disabled overhead stays the single branch
+   measured by bench E18. *)
 let lock = Mutex.create ()
 
 let locked f =
@@ -144,20 +153,22 @@ let enabled () = !sink <> None
 let set_sink s =
   locked (fun () ->
       sink := s;
-      stack := [])
+      stack () := [])
 
 (* In a child forked from a multithreaded parent, [lock] may have been
    held by a thread that does not exist in the child: taking it would
    deadlock forever.  Writing the sink ref directly (no lock — the child
    is single-threaded by construction) routes every subsequent
    instrumentation call through the lock-free disabled fast path. *)
-let detach_after_fork () = sink := None
+let detach_after_fork () =
+  sink := None;
+  stack () := []
 
 let reset () =
   locked (fun () ->
       Hashtbl.reset counters;
       Hashtbl.reset timers;
-      stack := [])
+      stack () := [])
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                             *)
@@ -171,7 +182,7 @@ let count name n =
         (match Hashtbl.find_opt counters name with
         | Some total -> total := !total + n
         | None -> Hashtbl.replace counters name (ref n));
-        match !stack with
+        match !(stack ()) with
         | [] -> ()
         | span :: _ ->
           Hashtbl.replace span.sdeltas name
@@ -223,7 +234,8 @@ let begin_span name =
     let span =
       { sname = name; sstart = Unix.gettimeofday (); sdeltas = Hashtbl.create 8 }
     in
-    locked (fun () -> stack := span :: !stack);
+    let stack = stack () in
+    stack := span :: !stack;
     Some span
 
 let deltas_sorted span =
@@ -233,6 +245,7 @@ let end_span ?(fields = []) handle =
   match (handle, !sink) with
   | None, _ | _, None -> []
   | Some span, Some s ->
+    let stack = stack () in
     locked @@ fun () ->
     if not (List.memq span !stack) then []
     else begin

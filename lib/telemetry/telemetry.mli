@@ -12,8 +12,13 @@
     branch — no clock reads, no allocation, no formatting.  Overhead with
     telemetry off is measured by bench experiment E18 and guarded in CI.
 
-    The module is single-threaded mutable global state, like {!Budget}:
-    one sink, one span stack, one totals table per process. *)
+    State is domain-safe: the counter and timer totals and the sink are
+    process-global, every mutation and emission guarded by one mutex,
+    while the span stack is {e domain-local} — spans opened on a worker
+    domain nest among themselves and attribute their counter deltas to
+    that domain's own enclosing spans, merging into the global totals
+    (and, at close, into that domain's parent span) under the lock.
+    Install and drain sinks from the main domain only. *)
 
 (** {1 Data model} *)
 

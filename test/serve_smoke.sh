@@ -6,6 +6,11 @@
 #                      test/cli/serve_response_schema.jq, the verdicts on
 #                      the known instances must be right, and the
 #                      template cache must record hits;
+#   1b. warm + batch — a daemon started with --warm must answer its very
+#                      first solve against the warmed template as a cache
+#                      hit; a JSON-array batch frame must return one array
+#                      line of per-member responses, and stats must carry
+#                      per-route latency histograms;
 #   2. chaos phase   — the same load with every fault site armed via
 #                      CQCSP_FAULT; responses must STILL all be typed
 #                      (injected faults become error responses, never
@@ -144,6 +149,41 @@ jq -e -f "$METRICS_SCHEMA" "$TMP/metrics.json" >/dev/null \
   || fail "clean: metrics document violates $METRICS_SCHEMA"
 jq -e '[.counters[] | select(.name == "serve.cache.hit") | .total > 0] | any' \
   "$TMP/metrics.json" >/dev/null || fail "clean: serve.cache.hit not positive in metrics"
+
+# --- Phase 1b: cache warm-up and batch frames -------------------------
+# The manifest pre-analyses the template used below, so the daemon's
+# very FIRST solve against it must already be a cache hit; the batch
+# frame (a JSON array) must come back as one array line with per-member
+# responses, and the stats op must expose per-route latency histograms.
+WARM_DIR="$TMP/warm"
+mkdir -p "$WARM_DIR"
+printf 'size 2\nE 0 1\nE 1 0\n' >"$WARM_DIR/k2.txt"
+{ echo "# templates to pre-analyse"; echo; echo "k2.txt"; } >"$WARM_DIR/manifest.txt"
+SERVE_EXTRA_ARGS=(--warm "$WARM_DIR/manifest.txt")
+start_daemon "$TMP/warm.sock" "$TMP/warm-metrics.json"
+SERVE_EXTRA_ARGS=()
+
+BATCH_FRAME='[{"id":1,"op":"solve","source":"size 2\nE 0 1\nE 1 0\n","target":"size 2\nE 0 1\nE 1 0\n"},{"id":2,"op":"solve","source":"size 3\nE 0 1\nE 1 2\nE 2 0\n","target":"size 2\nE 0 1\nE 1 0\n","certify":true},{"id":3,"op":"ping"},{"id":4,"op":"launch"}]'
+printf '%s\n' "$BATCH_FRAME" | "$BIN" request --socket "$TMP/warm.sock" >"$WARM_DIR/batch.jsonl"
+[ "$(wc -l <"$WARM_DIR/batch.jsonl")" -eq 1 ] || fail "warm: batch response is not one line"
+jq -e 'type == "array" and length == 4
+       and .[0].cache == "hit" and .[0].verdict == "sat"
+       and .[1].cache == "hit" and .[1].verdict == "unsat" and .[1].certified == true
+       and .[2].status == "ok" and .[2].op == "ping"
+       and .[3].status == "error" and .[3].error == "bad_input" and .[3].id == 4' \
+  "$WARM_DIR/batch.jsonl" >/dev/null || fail "warm: batch members (warmed cache hits, verdicts, per-member error)"
+echo '{"id":9,"op":"stats"}' | "$BIN" request --socket "$TMP/warm.sock" >"$WARM_DIR/stats.jsonl"
+jq -e '(.latency_ms | type == "object")
+       and ([.latency_ms[] | .count] | add >= 2)
+       and (.cache.hits >= 1)' \
+  "$WARM_DIR/stats.jsonl" >/dev/null || fail "warm: stats lacks latency histograms or warmed cache hits"
+stop_daemon "warm"
+jq -e '[.counters[] | select(.name == "serve.cache.warmed") | .total >= 1] | any' \
+  "$TMP/warm-metrics.json" >/dev/null || fail "warm: serve.cache.warmed not positive in metrics"
+jq -e '[.counters[] | select(.name | startswith("serve.latency.")) | .total > 0] | any' \
+  "$TMP/warm-metrics.json" >/dev/null || fail "warm: no serve.latency.* counters in metrics"
+jq -e '[.counters[] | select(.name == "serve.batch") | .total >= 1] | any' \
+  "$TMP/warm-metrics.json" >/dev/null || fail "warm: serve.batch not positive in metrics"
 
 # --- Phase 2: every fault site armed ----------------------------------
 start_daemon "$TMP/chaos.sock" "" CQCSP_FAULT=all:42:0.08
