@@ -143,6 +143,19 @@ let threads_term =
            the rest (recorded as cancelled attempts).  1 (the default) is \
            the sequential dispatcher.  Must be positive.")
 
+let no_preprocess_term =
+  Arg.(
+    value & flag
+    & info [ "no-preprocess" ]
+        ~doc:
+          "Skip the structural preprocessing pipeline (connected-component \
+           decomposition, dominated-element folding, certified core \
+           minimization) and hand the raw instance straight to the route \
+           portfolio.  Preprocessing never changes a verdict — every shrink \
+           is certified and replayed by the checker — so this flag exists \
+           for differential testing and for measuring the pipeline's own \
+           overhead.")
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry flags                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -309,12 +322,16 @@ let exits =
 
 (* ------------------------------------------------------------------ *)
 
-let contain max_nodes timeout threads certify metrics_json trace_out q1 q2 =
+let contain max_nodes timeout threads no_preprocess certify metrics_json
+    trace_out q1 q2 =
   run (fun () ->
       with_telemetry ~command:"contain" ~metrics_json ~trace_out @@ fun () ->
       let q1 = parse_query q1 and q2 = parse_query q2 in
       let budget = budget_of ~max_nodes ~timeout in
-      let r = Core.Solver.solve_containment ~budget ~threads q1 q2 in
+      let r =
+        Core.Solver.solve_containment ~budget ~threads
+          ~preprocess:(not no_preprocess) q1 q2
+      in
       (match r.Core.Solver.verdict with
       | Core.Solver.Sat _ ->
         Format.printf "Q1 <= Q2: true  (route: %s)@."
@@ -343,7 +360,7 @@ let contain_cmd =
     (Cmd.info "contain" ~exits ~doc:"Decide conjunctive-query containment Q1 <= Q2")
     Term.(
       const contain $ max_nodes_term $ timeout_term $ threads_term
-      $ certify_term $ metrics_json_term $ trace_out_term
+      $ no_preprocess_term $ certify_term $ metrics_json_term $ trace_out_term
       $ query_arg ~docv:"Q1" 0 $ query_arg ~docv:"Q2" 1)
 
 let minimize q =
@@ -394,12 +411,15 @@ let evaluate_cmd =
     (Cmd.info "evaluate" ~exits ~doc:"Evaluate a conjunctive query on a structure")
     Term.(const evaluate $ engine $ query_arg ~docv:"Q" 0 $ structure_arg ~docv:"DB" 1)
 
-let solve max_nodes timeout threads certify metrics_json trace_out a b =
+let solve max_nodes timeout threads no_preprocess certify metrics_json
+    trace_out a b =
   run (fun () ->
       with_telemetry ~command:"solve" ~metrics_json ~trace_out @@ fun () ->
       let a = read_structure a and b = read_structure b in
       let budget = budget_of ~max_nodes ~timeout in
-      let r = Core.Solver.solve ~budget ~threads a b in
+      let r =
+        Core.Solver.solve ~budget ~threads ~preprocess:(not no_preprocess) a b
+      in
       Format.printf "route: %s@." (Core.Solver.route_name r.Core.Solver.route);
       (match r.Core.Solver.verdict with
       | Core.Solver.Sat h ->
@@ -418,8 +438,8 @@ let solve_cmd =
     (Cmd.info "solve" ~exits
        ~doc:"Decide the existence of a homomorphism SOURCE -> TARGET (CSP)")
     Term.(
-      const solve $ max_nodes_term $ timeout_term $ threads_term $ certify_term
-      $ metrics_json_term $ trace_out_term
+      const solve $ max_nodes_term $ timeout_term $ threads_term
+      $ no_preprocess_term $ certify_term $ metrics_json_term $ trace_out_term
       $ structure_arg ~docv:"SOURCE" 0 $ structure_arg ~docv:"TARGET" 1)
 
 let classify b =
@@ -649,8 +669,8 @@ let selfcheck_cmd =
 
 let serve socket stdio max_inflight max_queue cache_size ceiling_nodes
     ceiling_timeout default_nodes default_timeout max_frame_bytes sandbox
-    sandbox_mem sandbox_cpu sandbox_wall spool threads warm metrics_json
-    trace_out =
+    sandbox_mem sandbox_cpu sandbox_wall spool threads warm no_preprocess
+    metrics_json trace_out =
   run (fun () ->
       with_telemetry ~command:"serve" ~metrics_json ~trace_out @@ fun () ->
       let mode =
@@ -696,6 +716,7 @@ let serve socket stdio max_inflight max_queue cache_size ceiling_nodes
           opt_spool_dir = spool;
           opt_threads = threads;
           opt_warm_manifest = warm;
+          opt_preprocess = not no_preprocess;
         })
 
 let serve_cmd =
@@ -888,7 +909,8 @@ let serve_cmd =
       const serve $ socket $ stdio $ max_inflight $ max_queue $ cache_size
       $ ceiling_nodes $ ceiling_timeout $ default_nodes $ default_timeout
       $ max_frame_bytes $ sandbox $ sandbox_mem $ sandbox_cpu $ sandbox_wall
-      $ spool $ threads_term $ warm $ metrics_json_term $ trace_out_term)
+      $ spool $ threads_term $ warm $ no_preprocess_term $ metrics_json_term
+      $ trace_out_term)
 
 (* request: a thin JSONL client for the daemon, used by the smoke tests
    and handy for ops one-liners. *)

@@ -14,6 +14,12 @@ type search_tree =
   | Conflict of origin
   | Split of { elem : int; children : (int * search_tree) list }
 
+type shrink_step = {
+  shrunk : Structure.t;
+  embed : int array;
+  fold : int array option;
+}
+
 type t =
   | Witness of int array
   | Empty_relation of origin
@@ -30,6 +36,11 @@ type t =
   | Spoiler_win of (config * int) list
   | Search_tree of search_tree
   | Via_booleanization of { bits : int; inner : t }
+  | Via_preprocess of {
+      source : shrink_step list;
+      target : shrink_step option;
+      inner : t;
+    }
 
 and step = { clause : iclause; forces : lit option }
 
@@ -498,6 +509,41 @@ let rec check a b cert =
     && (match (encode_source bits a, encode_target bits b) with
        | ab, bb -> check ab bb inner
        | exception Invalid_argument _ -> false)
+  | Via_preprocess { source; target; inner } ->
+    (* Replay each source shrink both ways.  Refutation soundness rests on
+       [embed] alone: a homomorphism [h : a -> b] would compose with the
+       chain of embeds into one from the shrunk source — and with the
+       target fold into the shrunk target — contradicting [inner].  A
+       declared [fold] (absent only for component restrictions, which have
+       no enclosing-to-component homomorphism) is validated as the reverse
+       homomorphism, certifying that the shrink preserved Sat as well. *)
+    let rec thread cur = function
+      | [] -> Some cur
+      | st :: rest ->
+        if
+          check_witness st.shrunk cur st.embed
+          && (match st.fold with
+             | None -> true
+             | Some f -> check_witness cur st.shrunk f)
+        then thread st.shrunk rest
+        else None
+    in
+    (match thread a source with
+    | None -> false
+    | Some a' ->
+      let target_ok, b' =
+        match target with
+        | None -> (true, b)
+        | Some st ->
+          (* On the target side the fold [b -> b'] is the load-bearing
+             direction, so here it is mandatory. *)
+          ( (match st.fold with
+            | None -> false
+            | Some f -> check_witness b st.shrunk f)
+            && check_witness st.shrunk b st.embed,
+            st.shrunk )
+      in
+      target_ok && check a' b' inner)
 
 let check a b cert = try check a b cert with _ -> false
 
@@ -513,6 +559,7 @@ let rec describe = function
   | Spoiler_win _ -> "spoiler-win"
   | Search_tree _ -> "search-tree"
   | Via_booleanization { inner; _ } -> "booleanized(" ^ describe inner ^ ")"
+  | Via_preprocess { inner; _ } -> "via-preprocess(" ^ describe inner ^ ")"
 
 let rec tree_size = function
   | Conflict _ -> 1
@@ -532,6 +579,13 @@ let rec size = function
   | Spoiler_win steps -> List.length steps
   | Search_tree tree -> tree_size tree
   | Via_booleanization { inner; _ } -> 1 + size inner
+  | Via_preprocess { source; target; inner } ->
+    let step_size st = 1 + Array.length st.embed in
+    List.fold_left
+      (fun acc st -> acc + step_size st)
+      (size inner
+      + match target with None -> 0 | Some st -> step_size st)
+      source
 
 (* ------------------------------------------------------------------ *)
 (* Refutation construction for the backtracking route: a plain          *)

@@ -46,6 +46,19 @@ type search_tree =
       (** Case split on the image of [elem]: one refutation per element of
           [B]'s universe, keyed by the chosen value (all values covered). *)
 
+type shrink_step = {
+  shrunk : Structure.t;  (** The smaller structure after one shrink. *)
+  embed : int array;
+      (** Homomorphism from [shrunk] into the enclosing structure (for a
+          retraction: the inclusion of the retract; for a component
+          restriction: the inclusion of the component). *)
+  fold : int array option;
+      (** Homomorphism from the enclosing structure onto [shrunk] — the
+          retraction itself.  [None] for component restrictions, where no
+          such map exists in general. *)
+}
+(** One certified instance shrink, replayed both ways by {!check}. *)
+
 type t =
   | Witness of int array  (** The homomorphism itself certifies [Sat]. *)
   | Empty_relation of origin
@@ -90,6 +103,19 @@ type t =
       (** Lemma 3.5 translation: [inner] refutes the independently
           re-encoded Boolean pair [(A_b, B_b)]; since any homomorphism
           [A -> B] induces one [A_b -> B_b], this refutes [(A, B)]. *)
+  | Via_preprocess of {
+      source : shrink_step list;
+      target : shrink_step option;
+      inner : t;
+    }
+      (** Preprocessing shrinks, outermost first: [source] chains from [A]
+          down to the sub-instance [A'] actually solved, [target] (serve
+          template coring) shrinks [B] to [B'].  Each step's maps are
+          replayed as homomorphisms; [inner] is then checked on
+          [(A', B')].  Sound because a homomorphism [A -> B] would compose
+          with the source embeds and the target fold into one
+          [A' -> B'], contradicting [inner].  The target step's [fold] is
+          mandatory (it is the load-bearing direction on that side). *)
 
 and step = { clause : iclause; forces : lit option }
 (** One unit-propagation step; [forces = None] marks the closing conflict

@@ -238,10 +238,10 @@ let pebble_differential ?pool note ~budget a b =
 (* The full portfolio, with its verdict checked against its own
    certificate by the trusted checker. *)
 let portfolio ~budget ?booleanize_threshold ?max_treewidth ?consistency_k
-    ?threads name a b =
+    ?threads ?preprocess name a b =
   let r =
     Solver.solve ?booleanize_threshold ?max_treewidth ?consistency_k ?threads
-      ~budget:(budget ()) a b
+      ?preprocess ~budget:(budget ()) a b
   in
   match r.Solver.verdict with
   | Solver.Sat h ->
@@ -270,10 +270,10 @@ let check_instance ~max_nodes ?(threads = 1) ?pool seed a b =
   let note what = issues := { seed; what } :: !issues in
   let push name claim = claims := (name, claim) :: !claims in
   let run_portfolio name ?booleanize_threshold ?max_treewidth ?consistency_k
-      ?threads () =
+      ?threads ?preprocess () =
     match
       portfolio ~budget ?booleanize_threshold ?max_treewidth ?consistency_k
-        ?threads name a b
+        ?threads ?preprocess name a b
     with
     | name, claim, problem ->
       push name claim;
@@ -285,6 +285,10 @@ let check_instance ~max_nodes ?(threads = 1) ?pool seed a b =
   (* The portfolio under its default policy, then steered away from its
      preferred routes so the later routes must answer (and certify) too. *)
   run_portfolio "portfolio" ();
+  (* The preprocess differential: the same portfolio with the shrinking
+     pipeline disabled must agree with the preprocessed default above
+     (whose via-preprocess certificates the checker already validated). *)
+  run_portfolio "portfolio-raw" ~preprocess:false ();
   (* The racing portfolio joins the agreement check: its verdict and
      certificates are held to the same standard as every sequential
      route's. *)

@@ -3,7 +3,10 @@
     For each seed a small instance is generated deterministically and
     every applicable route is forced to answer it independently: the full
     portfolio (under its default policy and steered past its preferred
-    routes), MAC backtracking, both Schaefer algorithms, Booleanization,
+    routes), the same portfolio with structural preprocessing disabled
+    (the {e preprocess differential} — shrunk and raw solves must agree,
+    with every via-preprocess certificate validated by the trusted
+    checker), MAC backtracking, both Schaefer algorithms, Booleanization,
     Hell–Nešetřil, Yannakakis, the treewidth DP, and the one-sided
     2-consistency refutation.  Every seventh seed instead runs a random
     containment instance end to end through {!Solver.solve_containment}.

@@ -1,6 +1,7 @@
 open Relational
 
 type route =
+  | Preprocess
   | Schaefer_direct of Schaefer.Classify.schaefer_class
   | Booleanized of Schaefer.Classify.schaefer_class
   | Graph_target of Graph_dichotomy.verdict
@@ -10,6 +11,7 @@ type route =
   | Backtracking
 
 let route_name = function
+  | Preprocess -> "preprocess"
   | Schaefer_direct cls -> "schaefer-direct(" ^ Schaefer.Classify.class_name cls ^ ")"
   | Booleanized cls -> "booleanized(" ^ Schaefer.Classify.class_name cls ^ ")"
   | Graph_target Graph_dichotomy.Polynomial -> "hell-nesetril(tractable graph)"
@@ -615,13 +617,217 @@ let solve_race ~max_treewidth ~consistency_k ~booleanize_threshold ~budget
     | Some (route, reason) -> finish (Unknown (global reason)) route
     | None -> finish (Unknown (global Budget.Node_limit)) Backtracking)
 
-let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
-    ?(budget = Budget.unlimited) ?(threads = 1) a b =
+let solve_inner ~max_treewidth ~consistency_k ~booleanize_threshold ~budget
+    ~threads a b =
   if threads <= 1 then
     solve_seq ~max_treewidth ~consistency_k ~booleanize_threshold ~budget a b
   else
     solve_race ~max_treewidth ~consistency_k ~booleanize_threshold ~budget
       ~threads a b
+
+(* ------------------------------------------------------------------ *)
+(* Structural preprocessing (DESIGN.md section 16).                     *)
+(*                                                                      *)
+(* Ahead of the portfolio the source is decomposed into connected       *)
+(* components (textually identical ones deduplicated), each component   *)
+(* folded and cored by [Preprocess.shrink_source], and each shrunk      *)
+(* piece solved independently against [B] — sequentially, or over a     *)
+(* [Parallel.Pool] with racer budgets when [threads > 1] supplies more  *)
+(* than one part.  Verdicts conjoin: any part's refutation refutes the  *)
+(* whole (wrapped in [Certificate.Via_preprocess] so the trusted        *)
+(* checker can replay the shrink), and per-part witnesses reassemble    *)
+(* through the fold maps into a witness on the raw source, re-verified  *)
+(* here before it is returned.  Budget exhaustion inside the shrink     *)
+(* pipeline degrades to the unshrunk instance (the verdict never        *)
+(* changes, only the work to reach it), surfaced in the                 *)
+(* [preprocess.bailouts] counter of the leading attempt record.         *)
+(* ------------------------------------------------------------------ *)
+
+(* A fact of [A] over a symbol whose relation in [B] is absent, empty,
+   or of a different arity refutes outright — and, crucially, keeps the
+   per-component conjunction sound in the presence of nullary facts,
+   which survive [Structure.induced] into every component. *)
+let empty_relation_refutation a b =
+  Structure.fold_tuples
+    (fun name t acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        let missing =
+          match Structure.relation b name with
+          | r -> Relation.is_empty r || Relation.arity r <> Array.length t
+          | exception Not_found -> true
+        in
+        if missing then
+          Some (Certificate.Empty_relation { symbol = name; fact = t })
+        else None)
+    a None
+
+let preprocess_attempt ?(extra = []) ~nodes ~outcome stats =
+  { route = Preprocess; nodes; outcome; counters = extra @ Preprocess.counters stats }
+
+let solve_preprocessed ~max_treewidth ~consistency_k ~booleanize_threshold
+    ~budget ~threads a b =
+  let decided_by_preprocess ~counters verdict =
+    {
+      verdict;
+      route = Preprocess;
+      attempts = [ { route = Preprocess; nodes = 0; outcome = Decided; counters } ];
+    }
+  in
+  match empty_relation_refutation a b with
+  | Some cert ->
+    decided_by_preprocess
+      ~counters:[ ("preprocess.empty_relation", 1) ]
+      (Unsat cert)
+  | None when Structure.size a = 0 ->
+    (* No elements and every nullary fact present in [B] (the shortcut
+       above just checked): the empty map is a witness. *)
+    decided_by_preprocess ~counters:[ ("preprocess.empty_source", 1) ] (Sat [||])
+  | None ->
+    let before = Budget.spent budget in
+    let src =
+      Telemetry.with_span "solver.preprocess" (fun () ->
+          Preprocess.shrink_source ~budget a)
+    in
+    let stats = src.Preprocess.stats in
+    let pre_attempt =
+      preprocess_attempt
+        ~nodes:(Budget.spent budget - before)
+        ~outcome:
+          (if
+             stats.Preprocess.shrunk_elements < stats.Preprocess.raw_elements
+             || stats.Preprocess.components > 1
+           then Pruned
+           else Inapplicable)
+        stats
+    in
+    let parts = src.Preprocess.parts in
+    let nparts = Array.length parts in
+    (* Solve one shrunk piece: the AC-4 singleton-domain substitution
+       decides [Sat] outright when propagation forces a unique certified
+       assignment; otherwise (or when the budget is already spent — the
+       portfolio reports exhaustion uniformly) the full dispatcher runs. *)
+    let solve_piece ~threads ~budget piece =
+      match Preprocess.ac_singleton_witness ~budget piece b with
+      | Some h ->
+        decided_by_preprocess ~counters:[ ("preprocess.ac_singleton", 1) ] (Sat h)
+      | None | (exception Budget.Exhausted _) ->
+        solve_inner ~max_treewidth ~consistency_k ~booleanize_threshold ~budget
+          ~threads piece b
+    in
+    let results = Array.make nparts None in
+    if threads > 1 && nparts > 1 then begin
+      (* Parts race across a pool: first refutation raises the shared
+         cancel flag; every racer's spend is merged back afterwards. *)
+      let shards = min threads nparts in
+      let pool = Parallel.Pool.create shards in
+      let cancel = ref false in
+      let budgets = Array.init nparts (fun _ -> Budget.racer budget ~cancel) in
+      Fun.protect
+        ~finally:(fun () -> Parallel.Pool.shutdown pool)
+        (fun () ->
+          Parallel.Pool.run pool (fun shard ->
+              let i = ref shard in
+              while !i < nparts do
+                let r =
+                  solve_piece ~threads:1 ~budget:budgets.(!i)
+                    parts.(!i).Preprocess.shrink.Preprocess.structure
+                in
+                results.(!i) <- Some r;
+                (match r.verdict with Unsat _ -> cancel := true | _ -> ());
+                i := !i + shards
+              done));
+      Array.iter (fun s -> Budget.charge budget (Budget.spent s)) budgets
+    end
+    else
+      (try
+         Array.iteri
+           (fun i p ->
+             results.(i) <-
+               Some (solve_piece ~threads ~budget p.Preprocess.shrink.Preprocess.structure);
+             match results.(i) with
+             | Some { verdict = Unsat _; _ } -> raise Exit
+             | _ -> ())
+           parts
+       with Exit -> ());
+    let attempts =
+      pre_attempt
+      :: List.concat_map
+           (function Some (r : result) -> r.attempts | None -> [])
+           (Array.to_list results)
+    in
+    let finish verdict route = { verdict; route; attempts } in
+    let global reason =
+      match Budget.status budget with Some r -> r | None -> reason
+    in
+    let refuted = ref None
+    and unknown = ref None in
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Some { verdict = Unsat c; route; _ } when !refuted = None ->
+          refuted := Some (i, c, route)
+        | Some { verdict = Unknown reason; route; _ } when !unknown = None ->
+          unknown := Some (reason, route)
+        | None when !unknown = None ->
+          (* A part skipped after an earlier refutation decided the
+             conjunction; never reached without one. *)
+          ()
+        | _ -> ())
+      results;
+    (match !refuted with
+    | Some (i, cert, route) ->
+      finish (Unsat (Preprocess.wrap_certificate src i cert)) route
+    | None -> (
+      match !unknown with
+      | Some (reason, route) -> finish (Unknown (global reason)) route
+      | None ->
+        let witnesses =
+          Array.map
+            (function
+              | Some r -> (
+                match answer r with
+                | Some h -> h
+                | None -> assert false (* neither refuted nor unknown *))
+              | None -> assert false)
+            results
+        in
+        let h = Preprocess.assemble_witness src (fun i -> witnesses.(i)) in
+        if not (Homomorphism.is_homomorphism a b h) then
+          Error.internal
+            "preprocess witness reassembly produced a non-homomorphism \
+             (shrink certification bug)";
+        let route =
+          match results.(0) with Some r -> r.route | None -> Preprocess
+        in
+        finish (Sat h) route))
+
+let solve ?(max_treewidth = 3) ?(consistency_k = 2) ?(booleanize_threshold = 4)
+    ?(budget = Budget.unlimited) ?(threads = 1) ?(preprocess = true) a b =
+  if preprocess then
+    solve_preprocessed ~max_treewidth ~consistency_k ~booleanize_threshold
+      ~budget ~threads a b
+  else
+    solve_inner ~max_treewidth ~consistency_k ~booleanize_threshold ~budget
+      ~threads a b
+
+let lift_target (r : Preprocess.retraction) (res : result) =
+  match Preprocess.target_step r with
+  | None -> res
+  | Some st -> (
+    match res.verdict with
+    | Sat h ->
+      { res with verdict = Sat (Array.map (fun v -> r.Preprocess.embed.(v)) h) }
+    | Unsat c ->
+      {
+        res with
+        verdict =
+          Unsat
+            (Certificate.Via_preprocess
+               { source = []; target = Some st; inner = c });
+      }
+    | Unknown _ -> res)
 
 let exists a b =
   match (solve a b).verdict with Sat _ -> true | Unsat _ | Unknown _ -> false
@@ -633,6 +839,6 @@ let containment_instance q1 q2 =
   let d2, _ = Cq.Canonical.database q2 in
   (d2, d1)
 
-let solve_containment ?budget ?threads q1 q2 =
+let solve_containment ?budget ?threads ?preprocess q1 q2 =
   let s, t = containment_instance q1 q2 in
-  solve ?budget ?threads s t
+  solve ?budget ?threads ?preprocess s t

@@ -48,6 +48,10 @@ open Relational
     degradation. *)
 
 type route =
+  | Preprocess
+      (** The shrinking pipeline itself decided (empty/mismatched target
+          relation, empty source, or AC-4 singleton-domain substitution)
+          — or, on an [Unknown], nothing past it got to run. *)
   | Schaefer_direct of Schaefer.Classify.schaefer_class
   | Booleanized of Schaefer.Classify.schaefer_class
   | Graph_target of Graph_dichotomy.verdict
@@ -123,10 +127,27 @@ val solve :
   ?booleanize_threshold:int ->
   ?budget:Budget.t ->
   ?threads:int ->
+  ?preprocess:bool ->
   Structure.t ->
   Structure.t ->
   result
-(** [max_treewidth] (default 3) caps the decomposition width the DP route
+(** [preprocess] (default [true]) runs the certified shrinking pipeline
+    of {!Preprocess} ahead of the portfolio: connected-component
+    decomposition of the source (identical components deduplicated, each
+    piece solved independently and the verdicts conjoined),
+    dominated-element folding and budget-capped core computation per
+    piece, plus the empty-relation and AC-4 singleton-domain shortcuts.
+    Refutations found on a shrunk piece are wrapped in
+    [Certificate.Via_preprocess] so they still check against the raw
+    instance; per-part witnesses are reassembled through the fold maps
+    and re-verified.  The leading [Preprocess] attempt in
+    {!result.attempts} carries the [preprocess.*] shrink counters.
+    Shrink-stage budget exhaustion degrades to the unshrunk instance
+    ([preprocess.bailouts]); it never changes a verdict.  With
+    [threads > 1] and several parts, parts race across a domain pool
+    under {!Budget.racer} budgets (first refutation cancels the rest).
+
+    [max_treewidth] (default 3) caps the decomposition width the DP route
     accepts; [consistency_k] (default 2) is the pebble count of the
     refutation pass; [booleanize_threshold] (default 4) caps [|B|] for the
     Booleanization attempt.  [budget] (default unlimited) bounds the whole
@@ -156,8 +177,20 @@ val containment_instance : Cq.Query.t -> Cq.Query.t -> Structure.t * Structure.t
     certificate of {!solve_containment} checks against exactly this pair.
     @raise Invalid_argument when the head arities differ. *)
 
+val lift_target : Preprocess.retraction -> result -> result
+(** Lift a result obtained against a {e shrunk target} (a cored serve
+    template) back to the raw target: witnesses compose with the
+    retraction's embed, refutations gain a target-side
+    [Certificate.Via_preprocess] step.  The identity retraction is a
+    no-op. *)
+
 val solve_containment :
-  ?budget:Budget.t -> ?threads:int -> Cq.Query.t -> Cq.Query.t -> result
+  ?budget:Budget.t ->
+  ?threads:int ->
+  ?preprocess:bool ->
+  Cq.Query.t ->
+  Cq.Query.t ->
+  result
 (** [Q1 ⊆ Q2] through the same dispatcher: restrictions on [Q2] surface as
     source-side structure (treewidth/acyclicity), restrictions on [Q1] as
     target-side structure (Schaefer after Booleanization).  [Sat _] means

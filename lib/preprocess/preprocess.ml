@@ -1,0 +1,456 @@
+open Relational
+
+type retraction = {
+  structure : Structure.t;
+  fold : int array;
+  embed : int array;
+}
+
+let identity_retraction s =
+  let n = Structure.size s in
+  { structure = s; fold = Array.init n Fun.id; embed = Array.init n Fun.id }
+
+let is_trivial r = Structure.size r.structure = Array.length r.fold
+
+type stats = {
+  raw_elements : int;
+  shrunk_elements : int;
+  components : int;
+  distinct_parts : int;
+  folded : int;
+  core_dropped : int;
+  bailouts : int;
+  memo_hits : int;
+}
+
+let counters s =
+  [
+    ("preprocess.bailouts", s.bailouts);
+    ("preprocess.components", s.components);
+    ("preprocess.core_dropped", s.core_dropped);
+    ("preprocess.distinct_parts", s.distinct_parts);
+    ("preprocess.folded", s.folded);
+    ("preprocess.memo_hits", s.memo_hits);
+    ("preprocess.raw_elements", s.raw_elements);
+    ("preprocess.shrunk_elements", s.shrunk_elements);
+  ]
+
+type part = {
+  piece : Structure.t;
+  piece_embed : int array;
+  shrink : retraction;
+  copies : int;
+}
+
+type source = {
+  parts : part array;
+  assign : (int * int) array;
+  stats : stats;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shrink memo: canonical text -> finished (unbailed) retraction.       *)
+(* Shared across source pieces and serve targets; wholesale reset at    *)
+(* capacity keeps it bounded without LRU bookkeeping.                   *)
+(* ------------------------------------------------------------------ *)
+
+type memo_entry = {
+  m_retraction : retraction;
+  m_folded : int;
+  m_core_dropped : int;
+}
+
+let memo_cap = 512
+let memo : (string, memo_entry) Hashtbl.t = Hashtbl.create 64
+let memo_lock = Mutex.create ()
+let memo_find key = Mutex.protect memo_lock (fun () -> Hashtbl.find_opt memo key)
+
+let memo_store key entry =
+  Mutex.protect memo_lock (fun () ->
+      if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
+      Hashtbl.replace memo key entry)
+
+let memo_stats () =
+  (Mutex.protect memo_lock (fun () -> Hashtbl.length memo), memo_cap)
+
+let memo_reset () = Mutex.protect memo_lock (fun () -> Hashtbl.reset memo)
+
+(* ------------------------------------------------------------------ *)
+(* Stage: dominated-element folding.                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Drop [x], absorbing it into [y]; the fold maps [x] to [y] and shifts
+   the rest down.  [Homomorphism.folds_onto] has already certified that
+   every tuple through [x] survives the substitution, so the induced
+   substructure on the remaining elements carries them all. *)
+let apply_fold st x y =
+  let n = Structure.size st in
+  let smaller =
+    Structure.induced st (List.filter (fun e -> e <> x) (Structure.universe st))
+  in
+  let renum e = if e > x then e - 1 else e in
+  let step_fold = Array.init n (fun e -> renum (if e = x then y else e)) in
+  let step_embed = Array.init (n - 1) (fun i -> if i < x then i else i + 1) in
+  (smaller, step_fold, step_embed)
+
+(* Greedy passes to fixpoint, scanning elements top-down (benchmark
+   padding appended at high indices folds away without rescanning the
+   kernel each time).  One budget tick per domination test; on
+   exhaustion the last completed fold is kept. *)
+let fold_stage ~budget st0 =
+  let id = Array.init (Structure.size st0) Fun.id in
+  let best = ref (st0, id, id, 0) in
+  let rec pass st fold embed folded =
+    best := (st, fold, embed, folded);
+    let found = ref None in
+    let x = ref (Structure.size st - 1) in
+    while !found = None && !x >= 0 do
+      List.iter
+        (fun y ->
+          if !found = None then begin
+            Budget.tick budget;
+            if Homomorphism.folds_onto st !x y then found := Some (!x, y)
+          end)
+        (Homomorphism.fold_candidates st !x);
+      decr x
+    done;
+    match !found with
+    | None -> ()
+    | Some (x, y) ->
+      let smaller, step_fold, step_embed = apply_fold st x y in
+      pass smaller
+        (Homomorphism.compose step_fold fold)
+        (Homomorphism.compose embed step_embed)
+        (folded + 1)
+  in
+  let bailed =
+    try
+      pass st0 id id 0;
+      false
+    with Budget.Exhausted _ -> true
+  in
+  let st, fold, embed, folded = !best in
+  (st, fold, embed, folded, bailed)
+
+(* ------------------------------------------------------------------ *)
+(* Stage: core computation by retraction search.                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy element drop: find an endomorphism avoiding some element,
+   restrict to its image, repeat.  The searches that succeed (actual
+   shrinks) come back fast; the exhaustive failing sweep that would
+   prove minimality is where the node cap bites, so already-minimal
+   instances bail after a bounded effort instead of an exponential
+   proof.  The last completed restriction is kept on exhaustion. *)
+let core_stage ~budget st0 =
+  let id = Array.init (Structure.size st0) Fun.id in
+  let best = ref (st0, id, id, 0) in
+  let rec shrink st fold embed dropped =
+    best := (st, fold, embed, dropped);
+    let n = Structure.size st in
+    let rec attempt v =
+      if v >= n then None
+      else begin
+        (* A fresh search pays Theta(norm) setup before its first node;
+           meter that against the cap too, so the number of restart
+           attempts scales with the budget rather than with the universe
+           size (an already-core instance would otherwise pay n setups
+           before bailing). *)
+        for _ = 1 to 1 + (Structure.norm st / 4) do
+          Budget.tick budget
+        done;
+        match
+          Homomorphism.find ~budget ~restrict:(fun _ y -> y <> v) st st
+        with
+        | Some h -> Some h
+        | None -> attempt (v + 1)
+      end
+    in
+    match attempt 0 with
+    | None -> ()
+    | Some h ->
+      let img = Homomorphism.image h in
+      let renum = Hashtbl.create (List.length img) in
+      List.iteri (fun i e -> Hashtbl.add renum e i) img;
+      let smaller = Structure.induced st img in
+      let step_fold = Array.map (fun v -> Hashtbl.find renum v) h in
+      let step_embed = Array.of_list img in
+      shrink smaller
+        (Homomorphism.compose step_fold fold)
+        (Homomorphism.compose embed step_embed)
+        (dropped + (n - List.length img))
+  in
+  let bailed =
+    try
+      shrink st0 id id 0;
+      false
+    with Budget.Exhausted _ -> true
+  in
+  let st, fold, embed, dropped = !best in
+  (st, fold, embed, dropped, bailed)
+
+(* The greedy endomorphisms need not fix their image pointwise, so the
+   composed fold can permute the shrunk universe relative to embed.
+   When [g = fold . embed] is bijective — always, once the search ran to
+   completion, since every endomorphism of a core is an automorphism —
+   compose the fold with [g]'s inverse (the inverse of a bijective
+   endomorphism of a finite structure is again a homomorphism), giving
+   [fold . embed = id] on the nose.  After a bailout [g] may be
+   non-bijective; the maps are still homomorphisms both ways, which is
+   all the certificate replay needs. *)
+let normalize_retraction r =
+  let k = Array.length r.embed in
+  let g = Array.map (fun e -> r.fold.(e)) r.embed in
+  let seen = Array.make (max k 1) false in
+  let bijective =
+    Array.for_all
+      (fun v ->
+        if v < 0 || v >= k || seen.(v) then false
+        else begin
+          seen.(v) <- true;
+          true
+        end)
+      g
+  in
+  if not bijective then r
+  else begin
+    let inv = Array.make k 0 in
+    Array.iteri (fun i v -> inv.(v) <- i) g;
+    { r with fold = Array.map (fun v -> inv.(v)) r.fold }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Combined per-structure shrink (fold passes, then core search).       *)
+(* ------------------------------------------------------------------ *)
+
+type shrink_info = {
+  i_folded : int;
+  i_core_dropped : int;
+  i_bailed : bool;
+  i_memo_hit : bool;
+}
+
+let default_core_nodes st = max 64 (Structure.norm st / 4)
+
+let shrink_structure ?(budget = Budget.unlimited) ?core_nodes st =
+  if Structure.size st = 0 then
+    ( identity_retraction st,
+      { i_folded = 0; i_core_dropped = 0; i_bailed = false; i_memo_hit = false }
+    )
+  else
+    let cap =
+      match core_nodes with Some c -> c | None -> default_core_nodes st
+    in
+    (* The node cap shapes how far the core search gets, so it is part
+       of the memo key: a shallow cached shrink must not answer for a
+       deeper requested one (or vice versa). *)
+    let key = string_of_int cap ^ "|" ^ Structure_text.print st in
+    match memo_find key with
+    | Some e ->
+      Telemetry.count "preprocess.memo_hit" 1;
+      ( e.m_retraction,
+        {
+          i_folded = e.m_folded;
+          i_core_dropped = e.m_core_dropped;
+          i_bailed = false;
+          i_memo_hit = true;
+        } )
+    | None ->
+      let st1, fold1, embed1, folded, bail1 = fold_stage ~budget st in
+      let core_budget = Budget.slice budget ~max_nodes:cap () in
+      let st2, fold2, embed2, dropped, bail2 =
+        core_stage ~budget:core_budget st1
+      in
+      let r =
+        normalize_retraction
+          {
+            structure = st2;
+            fold = Homomorphism.compose fold2 fold1;
+            embed = Homomorphism.compose embed1 embed2;
+          }
+      in
+      let bailed = bail1 || bail2 in
+      if bailed then Telemetry.count "preprocess.bailout" 1
+      else
+        memo_store key
+          { m_retraction = r; m_folded = folded; m_core_dropped = dropped };
+      ( r,
+        {
+          i_folded = folded;
+          i_core_dropped = dropped;
+          i_bailed = bailed;
+          i_memo_hit = false;
+        } )
+
+let target_core ?budget ?core_nodes b =
+  fst (shrink_structure ?budget ?core_nodes b)
+
+(* ------------------------------------------------------------------ *)
+(* Connected components (Gaifman graph, via union-find over tuples).    *)
+(* ------------------------------------------------------------------ *)
+
+let component_elements a =
+  let n = Structure.size a in
+  let parent = Array.init n Fun.id in
+  let rec find x =
+    if parent.(x) = x then x
+    else begin
+      let r = find parent.(x) in
+      parent.(x) <- r;
+      r
+    end
+  in
+  let union x y =
+    let rx = find x and ry = find y in
+    if rx <> ry then parent.(max rx ry) <- min rx ry
+  in
+  Structure.fold_tuples
+    (fun _ t () ->
+      for i = 1 to Array.length t - 1 do
+        union t.(0) t.(i)
+      done)
+    a ();
+  let groups = Hashtbl.create 16 in
+  for e = n - 1 downto 0 do
+    let r = find e in
+    Hashtbl.replace groups r
+      (e :: Option.value (Hashtbl.find_opt groups r) ~default:[])
+  done;
+  (* Each class's root is its minimum element, so sorting roots orders
+     components by first element, and the downward fill above left each
+     member list ascending. *)
+  let roots = List.sort compare (Hashtbl.fold (fun r _ acc -> r :: acc) groups []) in
+  List.map (fun r -> Hashtbl.find groups r) roots
+
+let shrink_source ?(budget = Budget.unlimited) ?core_nodes a =
+  let n = Structure.size a in
+  let comps = component_elements a in
+  let by_text = Hashtbl.create 8 in
+  let copies_tbl = Hashtbl.create 8 in
+  let nparts = ref 0 in
+  let rev_reps = ref [] in
+  (* A single component spanning the whole universe IS the input: skip
+     the induced copy (and its canonical print) so the downstream solve
+     runs on the original structure, warm lazy indexes and all. *)
+  let spanning = match comps with [ e ] -> List.length e = n | _ -> false in
+  let assigned =
+    List.map
+      (fun elems ->
+        let piece = if spanning then a else Structure.induced a elems in
+        let key = if spanning then "" else Structure_text.print piece in
+        match Hashtbl.find_opt by_text key with
+        | Some pi ->
+          Hashtbl.replace copies_tbl pi (1 + Hashtbl.find copies_tbl pi);
+          (elems, pi)
+        | None ->
+          let pi = !nparts in
+          incr nparts;
+          Hashtbl.add by_text key pi;
+          Hashtbl.add copies_tbl pi 1;
+          rev_reps := (elems, piece) :: !rev_reps;
+          (elems, pi))
+      comps
+  in
+  let folded = ref 0
+  and core_dropped = ref 0
+  and bailouts = ref 0
+  and memo_hits = ref 0 in
+  let parts =
+    Array.of_list (List.rev !rev_reps)
+    |> Array.mapi (fun pi (elems, piece) ->
+           let shrink, info = shrink_structure ~budget ?core_nodes piece in
+           folded := !folded + info.i_folded;
+           core_dropped := !core_dropped + info.i_core_dropped;
+           if info.i_bailed then incr bailouts;
+           if info.i_memo_hit then incr memo_hits;
+           {
+             piece;
+             piece_embed = Array.of_list elems;
+             shrink;
+             copies = Hashtbl.find copies_tbl pi;
+           })
+  in
+  let assign = Array.make n (0, 0) in
+  List.iter
+    (fun (elems, pi) ->
+      List.iteri (fun local e -> assign.(e) <- (pi, local)) elems)
+    assigned;
+  let shrunk_elements =
+    Array.fold_left (fun acc p -> acc + Structure.size p.shrink.structure) 0 parts
+  in
+  let stats =
+    {
+      raw_elements = n;
+      shrunk_elements;
+      components = List.length comps;
+      distinct_parts = Array.length parts;
+      folded = !folded;
+      core_dropped = !core_dropped;
+      bailouts = !bailouts;
+      memo_hits = !memo_hits;
+    }
+  in
+  if shrunk_elements < n then
+    Telemetry.count "preprocess.elements_dropped" (n - shrunk_elements);
+  { parts; assign; stats }
+
+(* ------------------------------------------------------------------ *)
+(* AC-4 singleton-domain substitution.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ac_singleton_witness ?(budget = Budget.unlimited) a b =
+  Budget.check budget;
+  if Structure.size a = 0 then
+    if Homomorphism.is_homomorphism a b [||] then Some [||] else None
+  else
+    let ctx = Arc_consistency.create ~algorithm:`Ac4 a b in
+    if Arc_consistency.establish ctx && Arc_consistency.all_singleton ctx then begin
+      let h = Arc_consistency.solution ctx in
+      if Homomorphism.is_homomorphism a b h then Some h else None
+    end
+    else None
+
+(* ------------------------------------------------------------------ *)
+(* Certificate plumbing.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let certificate_steps src i =
+  let p = src.parts.(i) in
+  let restriction =
+    if Structure.size p.piece = src.stats.raw_elements then []
+    else [ { Certificate.shrunk = p.piece; embed = p.piece_embed; fold = None } ]
+  in
+  let retraction_step =
+    if is_trivial p.shrink then []
+    else
+      [
+        {
+          Certificate.shrunk = p.shrink.structure;
+          embed = p.shrink.embed;
+          fold = Some p.shrink.fold;
+        };
+      ]
+  in
+  restriction @ retraction_step
+
+let wrap_certificate src i inner =
+  match certificate_steps src i with
+  | [] -> inner
+  | steps -> Certificate.Via_preprocess { source = steps; target = None; inner }
+
+let target_step r =
+  if is_trivial r then None
+  else
+    Some
+      {
+        Certificate.shrunk = r.structure;
+        embed = r.embed;
+        fold = Some r.fold;
+      }
+
+let assemble_witness src wit =
+  Array.map
+    (fun (pi, local) ->
+      let p = src.parts.(pi) in
+      (wit pi).(p.shrink.fold.(local)))
+    src.assign

@@ -167,6 +167,86 @@ let identity n = Array.init n Fun.id
 
 let hom_equivalent a b = exists a b && exists b a
 
+(* Substituting [y] for [x] everywhere in [t].  Fresh array only when [x]
+   actually occurs, which in [folds_onto] it always does. *)
+let substitute t ~x ~y = Array.map (fun e -> if e = x then y else e) t
+
+let folds_onto a x y =
+  x <> y
+  && List.for_all
+       (fun (name, arity) ->
+         let ix = Structure.index a name in
+         let ok = ref true in
+         (* Every tuple through [x] appears in the position-[p] bucket for
+            each position [p] it occupies; checking only the first
+            occurrence visits each such tuple exactly once. *)
+         for p = 0 to arity - 1 do
+           if !ok then
+             Array.iter
+               (fun t ->
+                 let first = ref (-1) in
+                 Array.iteri
+                   (fun i e -> if !first < 0 && e = x then first := i)
+                   t;
+                 if
+                   !ok && !first = p
+                   && not (Relation.Index.mem ix (substitute t ~x ~y))
+                 then ok := false)
+               (Relation.Index.matching ix ~pos:p ~value:x)
+         done;
+         !ok)
+       (Vocabulary.symbols (Structure.vocabulary a))
+
+let fold_candidates a x =
+  let n = Structure.size a in
+  (* Find one tuple through [x] (any relation, any position). *)
+  let anchor = ref None in
+  List.iter
+    (fun (name, arity) ->
+      if !anchor = None then
+        let ix = Structure.index a name in
+        let p = ref 0 in
+        while !anchor = None && !p < arity do
+          let bucket = Relation.Index.matching ix ~pos:!p ~value:x in
+          if Array.length bucket > 0 then anchor := Some (ix, bucket.(0));
+          incr p
+        done)
+    (Vocabulary.symbols (Structure.vocabulary a));
+  match !anchor with
+  | None ->
+    (* Isolated element: folding it onto anything preserves all tuples. *)
+    List.filter (fun y -> y <> x) (List.init n Fun.id)
+  | Some (ix, t) ->
+    (* A viable [y] must complete the pattern [t[x:=y]] in this relation.
+       Anchor the index on a non-[x] coordinate when one exists; an all-[x]
+       tuple (self-loop) forces a scan of that relation only. *)
+    let q = ref (-1) in
+    Array.iteri (fun i e -> if !q < 0 && e <> x then q := i) t;
+    let pool =
+      if !q >= 0 then Relation.Index.matching ix ~pos:!q ~value:t.(!q)
+      else Relation.Index.tuples ix
+    in
+    let cands = Hashtbl.create 8 in
+    Array.iter
+      (fun t' ->
+        (* [t'] must agree with [t] off the [x]-positions and carry one
+           uniform substitute on them. *)
+        let y = ref (-1) in
+        let ok = ref (Array.length t' = Array.length t) in
+        if !ok then
+          Array.iteri
+            (fun i e ->
+              if !ok then
+                if e = x then begin
+                  if !y < 0 then y := t'.(i)
+                  else if t'.(i) <> !y then ok := false
+                end
+                else if t'.(i) <> e then ok := false)
+            t;
+        if !ok && !y >= 0 && !y <> x then Hashtbl.replace cands !y ())
+      pool;
+    List.sort compare (Hashtbl.fold (fun y () acc -> y :: acc) cands [])
+
 let core_with_map ?budget a =
   let rec shrink current retraction =
     let n = Structure.size current in

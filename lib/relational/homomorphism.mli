@@ -84,6 +84,21 @@ val identity : int -> mapping
 val hom_equivalent : Structure.t -> Structure.t -> bool
 (** Homomorphisms exist in both directions. *)
 
+val folds_onto : Structure.t -> int -> int -> bool
+(** [folds_onto a x y]: the retraction sending [x] to [y] and fixing every
+    other element is an endomorphism of [a] — every tuple through [x]
+    stays a tuple of [a] after substituting [y] for [x].  Domination test
+    for preprocessing: computed off the relations' hash indexes, touching
+    only the tuples that contain [x] (O(degree of x), not O(||A||)).
+    [false] when [x = y]. *)
+
+val fold_candidates : Structure.t -> int -> int list
+(** Cheap superset of the elements [x] can fold onto, anchored on one
+    tuple through [x]: only a [y] that completes that tuple's pattern in
+    the same relation can absorb [x], and the per-(position, value) index
+    enumerates exactly those.  When [x] occurs in no tuple at all every
+    other element qualifies.  Sorted, never contains [x]. *)
+
 val core : ?budget:Budget.t -> Structure.t -> Structure.t
 (** The core: the smallest retract, unique up to isomorphism.  Computed by
     repeatedly finding non-surjective endomorphisms.

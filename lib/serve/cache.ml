@@ -3,10 +3,24 @@ open Relational
 type entry = {
   structure : Structure.t;
   canonical : string;  (* full key, compared on hit to survive collisions *)
+  core : Preprocess.retraction;
+  core_canonical : string;
+      (* canonical text of the cached core, re-derived and compared on
+         hit: a second guard against fingerprint collisions and against
+         any corruption of the interned core *)
   mutable last_used : int;  (* LRU clock stamp *)
 }
 
-type lookup = Hit of Structure.t | Miss of Structure.t | Poisoned of string
+type lookup =
+  | Hit of Structure.t * Preprocess.retraction
+  | Miss of Structure.t * Preprocess.retraction
+  | Poisoned of string
+
+type template_stats = {
+  t_fingerprint : string;
+  t_raw_elements : int;
+  t_core_elements : int;
+}
 
 type stats = {
   hits : int;
@@ -16,11 +30,13 @@ type stats = {
   evictions : int;
   entries : int;
   capacity : int;
+  templates : template_stats list;
 }
 
 type t = {
   lock : Mutex.t;
   capacity : int;
+  preprocess : bool;
   table : (string, entry) Hashtbl.t;
   poison : (string, string) Hashtbl.t;
   mutable clock : int;
@@ -31,11 +47,12 @@ type t = {
   mutable evictions : int;
 }
 
-let create ~capacity =
+let create ?(preprocess = true) ~capacity () =
   let capacity = max 1 capacity in
   {
     lock = Mutex.create ();
     capacity;
+    preprocess;
     table = Hashtbl.create (2 * capacity);
     poison = Hashtbl.create 16;
     clock = 0;
@@ -72,15 +89,32 @@ let fingerprint b = fnv1a64 (canonical_text b)
    relation values — Boolean Schaefer classes, the graph-dichotomy
    verdict.  Everything here is a pure warm-up: solving against the
    interned structure afterwards finds the work already done. *)
-let build_analysis b =
-  Fault.trip Fault.Cache_build;
+let analyse s =
   List.iter
-    (fun (name, _arity) -> ignore (Structure.index b name))
-    (Vocabulary.symbols (Structure.vocabulary b));
-  if Schaefer.Classify.is_boolean_structure b then
-    ignore (Schaefer.Classify.structure_classes b);
-  if Core.Graph_dichotomy.is_undirected_graph b then
-    ignore (Core.Graph_dichotomy.complexity b)
+    (fun (name, _arity) -> ignore (Structure.index s name))
+    (Vocabulary.symbols (Structure.vocabulary s));
+  if Schaefer.Classify.is_boolean_structure s then
+    ignore (Schaefer.Classify.structure_classes s);
+  if Core.Graph_dichotomy.is_undirected_graph s then
+    ignore (Core.Graph_dichotomy.complexity s)
+
+let build_analysis t b =
+  Fault.trip Fault.Cache_build;
+  analyse b;
+  (* Core the template once at insert/warm time — every request against
+     this entry then solves the smaller target.  Warm time can afford a
+     deeper retraction search than the solve-time default cap, since it
+     amortizes over the entry's whole lifetime. *)
+  let core =
+    if t.preprocess then
+      Preprocess.target_core ~core_nodes:(4 * max 64 (Structure.norm b)) b
+    else Preprocess.identity_retraction b
+  in
+  if Structure.size core.Preprocess.structure < Structure.size b then begin
+    Telemetry.count "serve.preprocess.shrunk" 1;
+    analyse core.Preprocess.structure
+  end;
+  core
 
 let evict_lru t =
   let victim =
@@ -116,25 +150,35 @@ let lookup t b =
           Poisoned msg
         | None -> (
           match Hashtbl.find_opt t.table fp with
-          | Some entry when entry.canonical = canonical ->
+          | Some entry
+            when entry.canonical = canonical
+                 && Structure_text.print entry.core.Preprocess.structure
+                    = entry.core_canonical ->
             entry.last_used <- t.clock;
             t.hits <- t.hits + 1;
             Telemetry.count "serve.cache.hit" 1;
-            Hit entry.structure
+            Hit (entry.structure, entry.core)
           | _ -> (
-            (* Absent, or a fingerprint collision (the canonical texts
-               differ): build this template's analysis and (re)insert. *)
-            match build_analysis b with
-            | () ->
+            (* Absent, a fingerprint collision (the canonical texts
+               differ), or a core failing its integrity text: build this
+               template's analysis and (re)insert. *)
+            match build_analysis t b with
+            | core ->
               if
                 not (Hashtbl.mem t.table fp)
                 && Hashtbl.length t.table >= t.capacity
               then evict_lru t;
               Hashtbl.replace t.table fp
-                { structure = b; canonical; last_used = t.clock };
+                {
+                  structure = b;
+                  canonical;
+                  core;
+                  core_canonical = Structure_text.print core.Preprocess.structure;
+                  last_used = t.clock;
+                };
               t.misses <- t.misses + 1;
               Telemetry.count "serve.cache.miss" 1;
-              Miss b
+              Miss (b, core)
             | exception e ->
               let msg =
                 match e with
@@ -155,6 +199,18 @@ let lookup t b =
 
 let stats t =
   with_lock t (fun () ->
+      let templates =
+        Hashtbl.fold
+          (fun fp entry acc ->
+            {
+              t_fingerprint = fp;
+              t_raw_elements = Structure.size entry.structure;
+              t_core_elements = Structure.size entry.core.Preprocess.structure;
+            }
+            :: acc)
+          t.table []
+        |> List.sort (fun x y -> compare x.t_fingerprint y.t_fingerprint)
+      in
       {
         hits = t.hits;
         misses = t.misses;
@@ -163,6 +219,7 @@ let stats t =
         evictions = t.evictions;
         entries = Hashtbl.length t.table;
         capacity = t.capacity;
+        templates;
       })
 
 let clear t =

@@ -10,10 +10,17 @@
     whose lazily-built indexes and memoized classifications are already
     warm, and every request against that template reuses them.
 
+    Each entry also stores the template's certified {e core}
+    ({!Preprocess.target_core}), computed once at insert/warm time, so
+    every request against a cached template solves the smaller target
+    and lifts the result back through the retraction.
+
     Keys are fingerprints (FNV-1a 64 over the canonical structure text);
-    the canonical text itself is kept per entry and compared on hit, so a
-    fingerprint collision degrades to an uncached solve instead of
-    cross-template contamination.  The cache is bounded with LRU
+    the canonical text itself is kept per entry and compared on hit —
+    and so is the canonical text of the stored core, re-derived on every
+    hit — so a fingerprint collision or a corrupted core degrades to a
+    rebuild instead of cross-template contamination.  The cache is
+    bounded with LRU
     eviction, and it {e degrades gracefully}: when an entry build fails —
     including injected {!Fault.Injected} at the [cache] site — the
     fingerprint is marked {e poisoned} and requests fall back to solving
@@ -26,14 +33,25 @@
 type t
 
 type lookup =
-  | Hit of Relational.Structure.t
-      (** The interned, pre-analysed template — solve against this. *)
-  | Miss of Relational.Structure.t
+  | Hit of Relational.Structure.t * Preprocess.retraction
+      (** The interned, pre-analysed template together with its
+          certified core — solve against the core and lift the result
+          with [Core.Solver.lift_target]. *)
+  | Miss of Relational.Structure.t * Preprocess.retraction
       (** Freshly built and inserted; the returned structure is the
           interned one, so its analyses warm up for followers. *)
   | Poisoned of string
       (** A previous build of this fingerprint failed with the recorded
           message; solve against the caller's own structure, uncached. *)
+
+type template_stats = {
+  t_fingerprint : string;
+  t_raw_elements : int;
+  t_core_elements : int;
+      (** [t_core_elements < t_raw_elements] iff the template's core is a
+          proper retract — the cache-side shrink ratio operators read off
+          the [stats] op. *)
+}
 
 type stats = {
   hits : int;
@@ -43,10 +61,14 @@ type stats = {
   evictions : int;
   entries : int;  (** Current resident entries. *)
   capacity : int;
+  templates : template_stats list;  (** Resident entries, by fingerprint. *)
 }
 
-val create : capacity:int -> t
-(** LRU capacity is clamped to at least 1. *)
+val create : ?preprocess:bool -> capacity:int -> unit -> t
+(** LRU capacity is clamped to at least 1.  [preprocess] (default
+    [true]) cores each template once at insert/warm time (counted at
+    [serve.preprocess.shrunk] when the core is a proper retract); when
+    false every entry carries the identity retraction. *)
 
 val fingerprint : Relational.Structure.t -> string
 (** 16-hex-digit FNV-1a 64 of the canonical structure text.  Exposed for

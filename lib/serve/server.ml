@@ -11,12 +11,13 @@ type config = {
   sandbox : Worker.pool option;
   spool_dir : string option;
   threads : int;
+  preprocess : bool;
   latency : Latency.t;
 }
 
-let default_config ?(cache_capacity = 64) () =
+let default_config ?(cache_capacity = 64) ?(preprocess = true) () =
   {
-    cache = Cache.create ~capacity:cache_capacity;
+    cache = Cache.create ~preprocess ~capacity:cache_capacity ();
     ceiling_nodes = None;
     ceiling_timeout = None;
     default_nodes = None;
@@ -28,6 +29,7 @@ let default_config ?(cache_capacity = 64) () =
     sandbox = None;
     spool_dir = None;
     threads = 1;
+    preprocess;
     latency = Latency.create ();
   }
 
@@ -80,13 +82,14 @@ let attempts_nodes attempts =
     0 attempts
 
 (* The template side routed through the cache once: the interned
-   structure plus the cache status to echo in responses. *)
+   structure, its cached core retraction, and the cache status to echo
+   in responses.  A poisoned template solves raw and uncored. *)
 let resolve_template cfg b =
   let lookup, _fp = Cache.lookup cfg.cache b in
   match lookup with
-  | Cache.Hit interned -> (interned, "hit")
-  | Cache.Miss interned -> (interned, "miss")
-  | Cache.Poisoned _ -> (b, "poisoned")
+  | Cache.Hit (interned, core) -> (interned, core, "hit")
+  | Cache.Miss (interned, core) -> (interned, core, "miss")
+  | Cache.Poisoned _ -> (b, Preprocess.identity_retraction b, "poisoned")
 
 (* The in-process solve of one request against an already-resolved
    template.  [certify] re-derives the verdict's certificate with the
@@ -95,11 +98,20 @@ let resolve_template cfg b =
    portfolio routes on a domain pool; callers inside a forked sandbox
    worker must pass 1 — fork and domains do not mix. *)
 let solve_now cfg ~threads ~id ~op ~certify ~max_nodes ~timeout a
-    (b, cache_status) =
+    (b, core, cache_status) =
   let budget = budget_for cfg ~max_nodes ~timeout in
   Fault.trip Fault.Solve;
   let t0 = Unix.gettimeofday () in
-  let r = Core.Solver.solve ~budget ~threads a b in
+  (* Solve against the cached core of the template and lift the result
+     back to the raw template: witnesses compose with the retraction's
+     embed, refutations gain the target-side via-preprocess step — so
+     certification below still runs against [(a, b)] as the client sent
+     it (modulo interning). *)
+  let r =
+    Core.Solver.lift_target core
+      (Core.Solver.solve ~budget ~threads ~preprocess:cfg.preprocess a
+         core.Preprocess.structure)
+  in
   (* Microsecond precision is plenty; full-precision floats bloat frames. *)
   let elapsed_ms = Float.round (1e6 *. (Unix.gettimeofday () -. t0)) /. 1000. in
   let certified =
@@ -199,6 +211,17 @@ let stats_fields cfg =
           ("evictions", Json.Int c.Cache.evictions);
           ("entries", Json.Int c.Cache.entries);
           ("capacity", Json.Int c.Cache.capacity);
+          ( "templates",
+            Json.List
+              (List.map
+                 (fun (ts : Cache.template_stats) ->
+                   Json.Obj
+                     [
+                       ("fingerprint", Json.String ts.Cache.t_fingerprint);
+                       ("raw_elements", Json.Int ts.Cache.t_raw_elements);
+                       ("core_elements", Json.Int ts.Cache.t_core_elements);
+                     ])
+                 c.Cache.templates) );
         ] );
     ( "faults",
       Json.Obj
@@ -605,6 +628,7 @@ type options = {
   opt_spool_dir : string option;
   opt_threads : int;
   opt_warm_manifest : string option;
+  opt_preprocess : bool;
 }
 
 (* Cache warm-up: the manifest lists structure files, one path per line
@@ -785,7 +809,9 @@ let pool_of_options opts =
 
 let config_of_options opts ~cancel ~admission =
   {
-    cache = Cache.create ~capacity:opts.cache_capacity;
+    cache =
+      Cache.create ~preprocess:opts.opt_preprocess
+        ~capacity:opts.cache_capacity ();
     ceiling_nodes = opts.opt_ceiling_nodes;
     ceiling_timeout = opts.opt_ceiling_timeout;
     default_nodes = opts.opt_default_nodes;
@@ -803,6 +829,7 @@ let config_of_options opts ~cancel ~admission =
     sandbox = pool_of_options opts;
     spool_dir = opts.opt_spool_dir;
     threads = max 1 opts.opt_threads;
+    preprocess = opts.opt_preprocess;
     latency = Latency.create ();
   }
 

@@ -58,14 +58,21 @@ type config = {
           workers always solve with [threads = 1]: fork and domains do
           not mix, so racing only applies to [--no-sandbox] daemons and
           stdio sessions. *)
+  preprocess : bool;
+      (** Run the source-side shrinking pipeline inside each solve (the
+          target side is cored once per cached template regardless of
+          this flag — see {!Cache.create}, which the daemon constructs
+          with the same value). *)
   latency : Latency.t;
       (** Per-route solve-latency histograms, surfaced by the [stats]
           op and (via telemetry counters) [--metrics-json]. *)
 }
 
-val default_config : ?cache_capacity:int -> unit -> config
+val default_config : ?cache_capacity:int -> ?preprocess:bool -> unit -> config
 (** Unlimited budgets, 1 MiB frames, admit-everything admission; the
-    building block for tests and for {!run}'s real config. *)
+    building block for tests and for {!run}'s real config.
+    [preprocess] (default [true]) governs both the per-request source
+    shrink and the cache's per-template coring. *)
 
 val handle_line : config -> string -> string
 (** Process one frame (without its newline); returns one response line
@@ -107,6 +114,9 @@ type options = {
           skipped, relative paths resolved against the manifest's
           directory.  An unreadable or unparsable entry fails startup
           loudly (startup is outside the isolation boundary). *)
+  opt_preprocess : bool;
+      (** [false] disables both the per-request source shrink and the
+          cache's per-template coring ([--no-preprocess]). *)
 }
 
 val run : options -> int

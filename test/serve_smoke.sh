@@ -11,6 +11,10 @@
 #                      hit; a JSON-array batch frame must return one array
 #                      line of per-member responses, and stats must carry
 #                      per-route latency histograms;
+#   1c. shrink phase — a shrinkable target (K2 plus an isolated vertex)
+#                      must land in the cache as its core: stats reports
+#                      core_elements < raw_elements and the metrics
+#                      count serve.preprocess.shrunk;
 #   2. chaos phase   — the same load with every fault site armed via
 #                      CQCSP_FAULT; responses must STILL all be typed
 #                      (injected faults become error responses, never
@@ -184,6 +188,26 @@ jq -e '[.counters[] | select(.name | startswith("serve.latency.")) | .total > 0]
   "$TMP/warm-metrics.json" >/dev/null || fail "warm: no serve.latency.* counters in metrics"
 jq -e '[.counters[] | select(.name == "serve.batch") | .total >= 1] | any' \
   "$TMP/warm-metrics.json" >/dev/null || fail "warm: serve.batch not positive in metrics"
+
+# --- Phase 1c: structural preprocessing shrinks templates -------------
+# A target of K2 plus an isolated vertex cores down to K2 (DESIGN.md
+# section 16): the cache analysis must store the shrunk template, the
+# stats op must report core_elements < raw_elements for its entry, and
+# the metrics document must count the shrink.
+start_daemon "$TMP/shrink.sock" "$TMP/shrink-metrics.json"
+printf '%s\n' '{"id":1,"op":"solve","source":"size 2\nE 0 1\nE 1 0\n","target":"size 3\nE 0 1\nE 1 0\n"}' \
+  | "$BIN" request --socket "$TMP/shrink.sock" >"$TMP/shrink.jsonl"
+jq -e '.status == "ok" and .verdict == "sat"' "$TMP/shrink.jsonl" >/dev/null \
+  || fail "shrink: solve against the padded-K2 template"
+echo '{"id":2,"op":"stats"}' | "$BIN" request --socket "$TMP/shrink.sock" \
+  >"$TMP/shrink-stats.jsonl"
+jq -e '[.cache.templates[] | select(.core_elements < .raw_elements)] | length >= 1' \
+  "$TMP/shrink-stats.jsonl" >/dev/null \
+  || fail "shrink: stats reports no template with core_elements < raw_elements"
+stop_daemon "shrink"
+jq -e '[.counters[] | select(.name == "serve.preprocess.shrunk") | .total > 0] | any' \
+  "$TMP/shrink-metrics.json" >/dev/null \
+  || fail "shrink: serve.preprocess.shrunk not positive in metrics"
 
 # --- Phase 2: every fault site armed ----------------------------------
 start_daemon "$TMP/chaos.sock" "" CQCSP_FAULT=all:42:0.08

@@ -1,0 +1,249 @@
+(* The certified shrinking pipeline: retractions must be homomorphisms
+   both ways composing to the identity on the shrunk universe, shrinking
+   must be idempotent (a core has no smaller core), and — the load-bearing
+   property — preprocessing must never change a verdict.  Every witness
+   and refutation in here goes through the trusted certificate checker
+   via Helpers.certified_verdict. *)
+
+open Relational
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_verdict = Alcotest.(check (option bool))
+
+(* Deep retraction search: the solve-time default cap (norm/4) is sized
+   for overhead control, not completeness, so the structural unit tests
+   ask for an effectively unbounded core search. *)
+let deep_core a = Preprocess.target_core ~core_nodes:100_000 a
+
+(* A directed triangle with [k] pendant vertices hanging off it: vertex
+   [3+i] has the single edge [3+i -> i mod 3].  The core is the triangle
+   — each pendant folds onto the triangle predecessor of its anchor. *)
+let padded_triangle k =
+  let edges =
+    [ (0, 1); (1, 2); (2, 0) ]
+    @ List.init k (fun i -> (3 + i, i mod 3))
+  in
+  Helpers.digraph ~size:(3 + k) edges
+
+(* The retraction contract: both maps are homomorphisms and
+   [fold . embed = id] on the shrunk universe. *)
+let retraction_ok orig (r : Preprocess.retraction) =
+  Homomorphism.is_homomorphism orig r.Preprocess.structure r.Preprocess.fold
+  && Homomorphism.is_homomorphism r.Preprocess.structure orig
+       r.Preprocess.embed
+  && Array.for_all
+       (fun v -> r.Preprocess.fold.(r.Preprocess.embed.(v)) = v)
+       (Array.init (Structure.size r.Preprocess.structure) Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Folding and core units                                               *)
+(* ------------------------------------------------------------------ *)
+
+let unit_tests =
+  [
+    Alcotest.test_case "padded triangle cores down to the triangle" `Quick
+      (fun () ->
+        Preprocess.memo_reset ();
+        let a = padded_triangle 9 in
+        let r = deep_core a in
+        check_int "core size" 3 (Structure.size r.Preprocess.structure);
+        check "retraction certifies" true (retraction_ok a r));
+    Alcotest.test_case "two self-loops fold to one" `Quick (fun () ->
+        Preprocess.memo_reset ();
+        let a = Helpers.digraph ~size:2 [ (0, 0); (1, 1) ] in
+        let r = deep_core a in
+        check_int "core size" 1 (Structure.size r.Preprocess.structure);
+        check "retraction certifies" true (retraction_ok a r));
+    Alcotest.test_case "a loop absorbs its whole component" `Quick (fun () ->
+        (* Everything maps onto the looped vertex, so the core is the
+           single loop even though no vertex is dominated tuple-wise. *)
+        Preprocess.memo_reset ();
+        let a = Helpers.digraph ~size:4 [ (0, 0); (1, 0); (0, 2); (2, 3) ] in
+        let r = deep_core a in
+        check_int "core size" 1 (Structure.size r.Preprocess.structure);
+        check "retraction certifies" true (retraction_ok a r));
+    Alcotest.test_case "loopless edge does not fold its endpoint" `Quick
+      (fun () ->
+        (* x -E-> y with no loop anywhere: substituting x := y would need
+           E(y,y), so nothing folds and the 1-edge digraph is its own
+           core (it has no endomorphism missing a vertex). *)
+        Preprocess.memo_reset ();
+        let a = Helpers.digraph ~size:2 [ (0, 1) ] in
+        check "0 onto 1" false (Homomorphism.folds_onto a 0 1);
+        check "1 onto 0" false (Homomorphism.folds_onto a 1 0);
+        let r = deep_core a in
+        check_int "already a core" 2 (Structure.size r.Preprocess.structure));
+    Alcotest.test_case "arity-3 domination folds the duplicate coordinate"
+      `Quick (fun () ->
+        Preprocess.memo_reset ();
+        let vocab = Vocabulary.create [ ("R", 3) ] in
+        let a =
+          Structure.of_relations vocab ~size:4
+            [ ("R", [ [| 0; 1; 2 |]; [| 0; 1; 3 |] ]) ]
+        in
+        check "3 folds onto 2" true (Homomorphism.folds_onto a 3 2);
+        check "2 folds onto 3" true (Homomorphism.folds_onto a 2 3);
+        check "0 does not fold onto 1" false (Homomorphism.folds_onto a 0 1);
+        let r = deep_core a in
+        check_int "one coordinate dropped" 3
+          (Structure.size r.Preprocess.structure);
+        check "retraction certifies" true (retraction_ok a r));
+    Alcotest.test_case "nullary facts survive decomposition" `Quick (fun () ->
+        (* A nullary fact P() belongs to every component, so a component
+           verdict may rest on it: with P empty in B the answer is Unsat
+           no matter what the binary part does. *)
+        let vocab = Vocabulary.create [ ("P", 0); ("E", 2) ] in
+        let a =
+          Structure.of_relations vocab ~size:3
+            [ ("P", [ [||] ]); ("E", [ [| 0; 1 |] ]) ]
+          (* element 2 is isolated: the source is disconnected *)
+        in
+        let b_no_p =
+          Structure.of_relations vocab ~size:2 [ ("E", [ [| 0; 1 |] ]) ]
+        in
+        let b_with_p =
+          Structure.of_relations vocab ~size:2
+            [ ("P", [ [||] ]); ("E", [ [| 0; 1 |]; [| 1; 0 |] ]) ]
+        in
+        check_verdict "unsat without P" (Some false)
+          (Helpers.certified_verdict a b_no_p (Core.Solver.solve a b_no_p));
+        check_verdict "sat with P" (Some true)
+          (Helpers.certified_verdict a b_with_p
+             (Core.Solver.solve a b_with_p)));
+    Alcotest.test_case "via-preprocess refutation checks on the original"
+      `Quick (fun () ->
+        (* Wrap a component refutation by hand and make sure the checker
+           replays it against the unshrunk source. *)
+        Preprocess.memo_reset ();
+        let a =
+          Structure.disjoint_union (padded_triangle 4)
+            (Helpers.digraph ~size:1 [])
+        in
+        let b = Helpers.digraph ~size:2 [ (0, 1); (1, 0) ] in
+        match Core.Solver.solve a b with
+        | { Core.Solver.verdict = Core.Solver.Unsat c; _ } ->
+          check "checker accepts" true (Certificate.check a b c)
+        | _ -> Alcotest.fail "triangle into K2 must be unsat");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let property_tests =
+  [
+    Helpers.qtest ~count:200 "shrinking is idempotent (a core has no smaller core)"
+      (Helpers.arbitrary_structure ())
+      (fun a ->
+        let r1 = deep_core a in
+        let r2 = deep_core r1.Preprocess.structure in
+        Structure.size r2.Preprocess.structure
+        = Structure.size r1.Preprocess.structure);
+    Helpers.qtest ~count:300 "every retraction certifies both ways"
+      (Helpers.arbitrary_structure ())
+      (fun a -> retraction_ok a (deep_core a));
+    Helpers.qtest ~count:300 "preprocessed and raw verdicts agree"
+      (Helpers.arbitrary_pair ())
+      (fun (a, b) ->
+        let pre =
+          Helpers.certified_verdict a b (Core.Solver.solve a b)
+        in
+        let raw =
+          Helpers.certified_verdict a b
+            (Core.Solver.solve ~preprocess:false a b)
+        in
+        match (pre, raw) with Some x, Some y -> x = y | _ -> true);
+    Helpers.qtest ~count:120
+      "duplicated-component sources agree (dedup path)"
+      (Helpers.arbitrary_pair ())
+      (fun (a, b) ->
+        let aa = Structure.disjoint_union a a in
+        let pre = Helpers.certified_verdict aa b (Core.Solver.solve aa b) in
+        let raw =
+          Helpers.certified_verdict aa b
+            (Core.Solver.solve ~preprocess:false aa b)
+        in
+        match (pre, raw) with Some x, Some y -> x = y | _ -> true);
+    Helpers.qtest ~count:60 "padded-core sources agree with raw solving"
+      QCheck.(pair (int_bound 8) (Helpers.arbitrary_structure ~max_rels:1 ()))
+      (fun (k, b) ->
+        (* b ranges over arbitrary R0-structures; rename its relation to
+           E only when arities line up, else fall back to K2. *)
+        let b =
+          if Vocabulary.symbols (Structure.vocabulary b) = [ ("R0", 2) ] then
+            Structure.rename_relations b (fun _ -> "E")
+          else Helpers.digraph ~size:2 [ (0, 1); (1, 0) ]
+        in
+        let a = padded_triangle k in
+        let pre = Helpers.certified_verdict a b (Core.Solver.solve a b) in
+        let raw =
+          Helpers.certified_verdict a b
+            (Core.Solver.solve ~preprocess:false a b)
+        in
+        match (pre, raw) with Some x, Some y -> x = y | _ -> true);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Budget discipline                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let budget_tests =
+  [
+    Alcotest.test_case "starved pipeline degrades, never lies" `Quick
+      (fun () ->
+        (* One node of budget: the pipeline must bail out (counted, not
+           raised), hand back a sound partial shrink, and the solve must
+           answer Unknown or the true verdict — never the wrong one. *)
+        Preprocess.memo_reset ();
+        let a = padded_triangle 8 in
+        let budget = Budget.create ~max_nodes:1 () in
+        let src = Preprocess.shrink_source ~budget a in
+        check "some stage bailed" true
+          (src.Preprocess.stats.Preprocess.bailouts > 0);
+        Array.iter
+          (fun (p : Preprocess.part) ->
+            check "partial shrink still certifies" true
+              (retraction_ok p.Preprocess.piece p.Preprocess.shrink))
+          src.Preprocess.parts;
+        let b = Helpers.digraph ~size:2 [ (0, 1); (1, 0) ] in
+        let starved = Budget.create ~max_nodes:1 () in
+        match
+          (Core.Solver.solve ~budget:starved a b).Core.Solver.verdict
+        with
+        | Core.Solver.Unknown _ | Core.Solver.Unsat _ -> ()
+        | Core.Solver.Sat _ ->
+          Alcotest.fail "starved solve claimed sat for triangle into K2");
+    Alcotest.test_case "tight budgets never flip a verdict" `Quick (fun () ->
+        (* Sweep node limits from starvation up past completion on a
+           shrinkable instance: every definite answer must match the
+           unbudgeted one. *)
+        let a = padded_triangle 6 in
+        let b = Helpers.digraph ~size:3 [ (0, 1); (1, 2); (2, 0) ] in
+        let reference =
+          Helpers.certified_verdict a b
+            (Core.Solver.solve ~preprocess:false a b)
+        in
+        check_verdict "reference is sat" (Some true) reference;
+        List.iter
+          (fun n ->
+            Preprocess.memo_reset ();
+            let budget = Budget.create ~max_nodes:n () in
+            match
+              Helpers.certified_verdict a b
+                (Core.Solver.solve ~budget a b)
+            with
+            | None -> ()
+            | some -> check_verdict (Printf.sprintf "nodes=%d" n) reference some)
+          [ 1; 2; 4; 8; 16; 64; 256; 4096; 100_000 ]);
+  ]
+
+let () =
+  Alcotest.run "preprocess"
+    [
+      ("units", unit_tests);
+      ("properties", property_tests);
+      ("budgets", budget_tests);
+    ]

@@ -171,16 +171,16 @@ let fault_tests =
 let cache_tests =
   [
     Alcotest.test_case "miss then hit, and the hit interns" `Quick (fun () ->
-        let c = Cache.create ~capacity:4 in
+        let c = Cache.create ~capacity:4 () in
         let b1 = parse_structure triangle and b2 = parse_structure triangle in
         let first, fp1 =
           match Cache.lookup c b1 with
-          | Cache.Miss s, fp -> (s, fp)
+          | Cache.Miss (s, _), fp -> (s, fp)
           | _ -> Alcotest.fail "expected a miss"
         in
         check "miss interns the argument" true (first == b1);
         (match Cache.lookup c b2 with
-        | Cache.Hit s, fp ->
+        | Cache.Hit (s, _), fp ->
           check_str "same fingerprint" fp1 fp;
           check "hit returns the interned structure" true (s == b1)
         | _ -> Alcotest.fail "expected a hit");
@@ -194,7 +194,7 @@ let cache_tests =
           (Cache.fingerprint (parse_structure triangle)
           <> Cache.fingerprint (parse_structure k2)));
     Alcotest.test_case "LRU eviction at capacity" `Quick (fun () ->
-        let c = Cache.create ~capacity:2 in
+        let c = Cache.create ~capacity:2 () in
         let b name = parse_structure name in
         ignore (Cache.lookup c (b triangle));
         ignore (Cache.lookup c (b k2));
@@ -212,7 +212,7 @@ let cache_tests =
         | Cache.Miss _, _ -> ()
         | _ -> Alcotest.fail "k2 should have been evicted");
     Alcotest.test_case "build failure poisons; clear heals" `Quick (fun () ->
-        let c = Cache.create ~capacity:4 in
+        let c = Cache.create ~capacity:4 () in
         with_faults "cache:5:1.0" (fun () ->
             match Cache.lookup c (parse_structure triangle) with
             | Cache.Poisoned msg, _ ->
@@ -233,7 +233,7 @@ let cache_tests =
         | _ -> Alcotest.fail "clear must drop poison marks");
     Alcotest.test_case "poisoning one template leaves others cacheable" `Quick
       (fun () ->
-        let c = Cache.create ~capacity:4 in
+        let c = Cache.create ~capacity:4 () in
         with_faults "cache:5:1.0" (fun () ->
             ignore (Cache.lookup c (parse_structure triangle)));
         (match Cache.lookup c (parse_structure k2) with
