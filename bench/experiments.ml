@@ -1800,9 +1800,139 @@ let e19 () =
       ("preprocess_overhead_ratio", overhead_ratio, false);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* E20: streaming enumeration — delay per answer, counts that agree     *)
+(* ------------------------------------------------------------------ *)
+
+let e20 () =
+  Util.header
+    "E20 Streaming enumeration: polynomial delay and overflow-safe counting";
+  let json = ref [] in
+  (* Drain the stream once, timestamping every answer: the per-answer
+     cost is total wall-clock over answers, and the maximum inter-answer
+     gap is the quantity the polynomial-delay claim actually bounds
+     (a backtracking enumerator can stall arbitrarily long between two
+     answers; the reduced/DP routes cannot). *)
+  let drain ?max_width a b =
+    let t0 = Util.now_ns () in
+    let last = ref t0 and max_gap = ref 0.0 and n = ref 0 in
+    Seq.iter
+      (fun _ ->
+        let t = Util.now_ns () in
+        if t -. !last > !max_gap then max_gap := t -. !last;
+        last := t;
+        incr n)
+      (Enumerate.stream ?max_width a b);
+    (!n, (Util.now_ns () -. t0) /. 1e9, !max_gap /. 1e9)
+  in
+  let row family ?max_width ~k a b =
+    let route =
+      Enumerate.route_name (Enumerate.plan ?max_width a b).Enumerate.route
+    in
+    let streamed, total_s, max_gap_s = drain ?max_width a b in
+    let counted, count_s =
+      Util.time ~repeat:3 (fun () -> Enumerate.count ?max_width a b)
+    in
+    (* The zero-disagreements acceptance gate: the closed-form DP count
+       must equal the length of the enumeration, on every row. *)
+    if counted <> streamed then
+      failwith
+        (Printf.sprintf
+           "E20: enumerate/count disagreement on %s k=%d: streamed %d, \
+            counted %d"
+           family k streamed counted);
+    let per_answer_s = total_s /. float_of_int (max 1 streamed) in
+    json :=
+      Printf.sprintf
+        "  {\"family\": %S, \"k\": %d, \"size\": %d, \"route\": %S,\n\
+        \   \"answers\": %d, \"total_s\": %.6e, \"ns_per_answer\": %.1f,\n\
+        \   \"max_gap_s\": %.6e, \"count_s\": %.6e}"
+        family k (Structure.size a) route streamed total_s
+        (per_answer_s *. 1e9) max_gap_s count_s
+      :: !json;
+    ( (per_answer_s, total_s, count_s),
+      [
+        family; int k; route; int streamed; f2s total_s;
+        Printf.sprintf "%.0fns" (per_answer_s *. 1e9); f2s max_gap_s;
+        f2s count_s;
+      ] )
+  in
+  (* Embedded differential: on a small instance the streamed answer set
+     must equal the naive materializing enumerator's, as sets. *)
+  let a0 = Core.Workloads.path 4 and b0 = Core.Workloads.clique 4 in
+  let sorted l = List.sort compare (List.map Array.to_list l) in
+  assert (
+    sorted (List.of_seq (Enumerate.stream a0 b0))
+    = sorted (Homomorphism.enumerate a0 b0));
+  let k4 = Core.Workloads.clique 4 in
+  (* Acyclic route: directed paths into K4, 4*3^k answers — the answer
+     set grows geometrically while the per-answer delay must not. *)
+  let acyclic =
+    List.map
+      (fun k -> row "enum-acyclic-path" ~k (Core.Workloads.path k) k4)
+      [ 4; 6; 8 ]
+  in
+  (* Treewidth route: undirected cycles (width 2) into K4. *)
+  let tw =
+    List.map
+      (fun k ->
+        row "enum-treewidth-cycle" ~k (Core.Workloads.undirected_cycle k) k4)
+      [ 4; 6; 8 ]
+  in
+  (* Backtracking fallback on the same cycles ([max_width:0] disables
+     the decomposition route): tabulated for comparison, not guarded —
+     its delay carries no polynomial promise. *)
+  let bt =
+    List.map
+      (fun k ->
+        row "enum-backtracking-cycle" ~max_width:0 ~k
+          (Core.Workloads.undirected_cycle k) k4)
+      [ 4; 6; 8 ]
+  in
+  Util.table
+    ~columns:
+      [
+        "family"; "k"; "route"; "answers"; "total"; "per answer"; "max gap";
+        "count";
+      ]
+    (List.map snd acyclic @ List.map snd tw @ List.map snd bt);
+  (* Metrics are guarded at the largest size of each family, where the
+     per-answer cost is furthest from fixed setup noise. *)
+  let largest l =
+    match List.rev l with (m, _) :: _ -> m | [] -> (nan, nan, nan)
+  in
+  let acyclic_per, acyclic_total, acyclic_count = largest acyclic in
+  let tw_per, _, _ = largest tw in
+  (* Counting must beat materializing by orders of magnitude where the
+     answer set is large: the DP touches each table cell once, the
+     stream touches each of the 4*3^8 answers. *)
+  let count_speedup = acyclic_total /. acyclic_count in
+  Util.note
+    "acyclic per-answer delay at k=8: %.0fns; treewidth: %.0fns (guarded \
+     at < 2x baseline)."
+    (acyclic_per *. 1e9) (tw_per *. 1e9);
+  Util.note
+    "counting vs draining the k=8 acyclic stream: %.0fx faster (floor: \
+     2x, guarded at half baseline)."
+    count_speedup;
+  if count_speedup < 2.0 then
+    Util.note
+      "WARNING: count speedup %.1fx below the 2x floor (timing noise, or \
+       a real regression — see the perf_guard verdict)."
+      count_speedup;
+  append_perf_json (List.rev !json);
+  Util.note "merged E20 rows into BENCH_perf.json.";
+  perf_guard
+    [
+      ("enum_acyclic_ns_per_answer", acyclic_per *. 1e9, false);
+      ("enum_treewidth_ns_per_answer", tw_per *. 1e9, false);
+      ("enum_count_speedup", count_speedup, true);
+    ]
+
 let all = [
   ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
   ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
   ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("ablations", ablations);
   ("certify", certify); ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19);
+  ("e20", e20);
 ]

@@ -322,8 +322,46 @@ let exits =
 
 (* ------------------------------------------------------------------ *)
 
-let contain max_nodes timeout threads no_preprocess certify metrics_json
+(* Split a UCQ text on the standalone word UNION; word-boundary checks
+   keep identifiers containing the letters intact. *)
+let split_union text =
+  let n = String.length text in
+  let is_word c =
+    (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let parts = ref [] and start = ref 0 and i = ref 0 in
+  while !i + 5 <= n do
+    if
+      String.sub text !i 5 = "UNION"
+      && (!i = 0 || not (is_word text.[!i - 1]))
+      && (!i + 5 = n || not (is_word text.[!i + 5]))
+    then begin
+      parts := String.sub text !start (!i - !start) :: !parts;
+      i := !i + 5;
+      start := !i
+    end
+    else incr i
+  done;
+  List.rev (String.sub text !start (n - !start) :: !parts)
+
+let contain max_nodes timeout threads no_preprocess certify union metrics_json
     trace_out q1 q2 =
+  if union then
+    run (fun () ->
+        with_telemetry ~command:"contain" ~metrics_json ~trace_out @@ fun () ->
+        if certify then
+          Core.Error.unsupported
+            "--certify is not available with --union (UCQ verdicts have no \
+             certificate form yet)";
+        let parse_union s = Cq.Ucq.make (List.map parse_query (split_union s)) in
+        let u1 = parse_union q1 and u2 = parse_union q2 in
+        Format.printf "Q1 <= Q2: %b  (route: ucq-sagiv-yannakakis, %d vs %d \
+                       disjunct(s))@."
+          (Cq.Ucq.contained u1 u2)
+          (Cq.Ucq.disjunct_count u1) (Cq.Ucq.disjunct_count u2);
+        0)
+  else
   run (fun () ->
       with_telemetry ~command:"contain" ~metrics_json ~trace_out @@ fun () ->
       let q1 = parse_query q1 and q2 = parse_query q2 in
@@ -355,13 +393,26 @@ let contain max_nodes timeout threads no_preprocess certify metrics_json
         certify_against (Core.Solver.containment_instance q1 q2) r;
       verdict_exit r.Core.Solver.verdict)
 
+let union_term =
+  Arg.(
+    value & flag
+    & info [ "union" ]
+        ~doc:
+          "Treat Q1 and Q2 as unions of conjunctive queries, with disjuncts \
+           separated by the standalone word UNION (all disjuncts of a side \
+           must share one arity).  Decided by the Sagiv–Yannakakis \
+           criterion — each left disjunct must be contained in some right \
+           disjunct — via exact per-pair containment tests, so the budget \
+           and threads flags do not apply.")
+
 let contain_cmd =
   Cmd.v
-    (Cmd.info "contain" ~exits ~doc:"Decide conjunctive-query containment Q1 <= Q2")
+    (Cmd.info "contain" ~exits
+       ~doc:"Decide (unions of) conjunctive-query containment Q1 <= Q2")
     Term.(
       const contain $ max_nodes_term $ timeout_term $ threads_term
-      $ no_preprocess_term $ certify_term $ metrics_json_term $ trace_out_term
-      $ query_arg ~docv:"Q1" 0 $ query_arg ~docv:"Q2" 1)
+      $ no_preprocess_term $ certify_term $ union_term $ metrics_json_term
+      $ trace_out_term $ query_arg ~docv:"Q1" 0 $ query_arg ~docv:"Q2" 1)
 
 let minimize q =
   run (fun () ->
@@ -499,26 +550,139 @@ let treewidth_cmd =
     (Cmd.info "treewidth" ~exits ~doc:"Report width measures of a structure")
     Term.(const treewidth $ structure_arg ~docv:"SOURCE" 0)
 
-let count max_nodes timeout a b =
+let count max_nodes timeout metrics_json trace_out a b =
   run (fun () ->
+      with_telemetry ~command:"count" ~metrics_json ~trace_out @@ fun () ->
       let a = read_structure a and b = read_structure b in
       let budget = budget_of ~max_nodes ~timeout in
-      match Treewidth.Td_solver.count ~budget a b with
-      | n ->
-        Format.printf "#hom = %d@." n;
-        0
-      | exception Relational.Budget.Exhausted reason ->
-        Format.printf "unknown (budget exhausted: %s)@."
-          (Relational.Budget.reason_to_string reason);
-        Core.Error.exit_code (Core.Error.Budget_exhausted reason))
+      (* Budget exhaustion and count overflow escape to [run]'s guard:
+         the diagnostic goes to stderr (stdout is the machine contract)
+         with the standard exit codes 4 and 3. *)
+      let n = Enumerate.count ~budget a b in
+      Format.printf "#hom = %d@." n;
+      0)
 
 let count_cmd =
   Cmd.v
     (Cmd.info "count" ~exits
-       ~doc:"Count homomorphisms SOURCE -> TARGET (treewidth dynamic programming)")
+       ~doc:
+         "Count homomorphisms SOURCE -> TARGET (component product rule over \
+          per-component sum-product counting; overflow-checked)")
     Term.(
-      const count $ max_nodes_term $ timeout_term $ structure_arg ~docv:"SOURCE" 0
+      const count $ max_nodes_term $ timeout_term $ metrics_json_term
+      $ trace_out_term $ structure_arg ~docv:"SOURCE" 0
       $ structure_arg ~docv:"TARGET" 1)
+
+(* ------------------------------------------------------------------ *)
+(* enumerate: stream every homomorphism                                 *)
+(* ------------------------------------------------------------------ *)
+
+let enumerate max_nodes timeout threads limit format metrics_json trace_out a b
+    =
+  run (fun () ->
+      with_telemetry ~command:"enumerate" ~metrics_json ~trace_out @@ fun () ->
+      let a = read_structure a and b = read_structure b in
+      (* --threads-aware cancellation: SIGINT flips the shared cancel flag
+         so an interrupted stream unwinds as a budget-exhausted run
+         (partial answers already flushed, exit 4) instead of dying
+         mid-frame. *)
+      let cancel = ref false in
+      let budget =
+        match (max_nodes, timeout) with
+        | None, None -> Core.Budget.create ~cancel ()
+        | _ -> Core.Budget.create ?max_nodes ?timeout ~cancel ()
+      in
+      let previous =
+        try Some (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> cancel := true)))
+        with Invalid_argument _ | Sys_error _ -> None
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Option.iter (fun h -> Sys.set_signal Sys.sigint h) previous)
+        (fun () ->
+          let pool =
+            if threads > 1 then Some (Parallel.Pool.create threads) else None
+          in
+          Fun.protect
+            ~finally:(fun () -> Option.iter Parallel.Pool.shutdown pool)
+            (fun () ->
+              let plan = Enumerate.plan ~budget ?pool a b in
+              let route = Enumerate.route_name plan.Enumerate.route in
+              let seq =
+                match limit with
+                | Some l -> Seq.take l plan.Enumerate.seq
+                | None -> plan.Enumerate.seq
+              in
+              let n = ref 0 in
+              Seq.iter
+                (fun h ->
+                  incr n;
+                  match format with
+                  | `Text -> Format.printf "%a@." Relational.Tuple.pp h
+                  | `Jsonl ->
+                    Format.printf "{\"hom\":[%s]}@."
+                      (String.concat ","
+                         (List.map string_of_int (Array.to_list h))))
+                seq;
+              let complete =
+                match limit with Some l -> !n < l | None -> true
+              in
+              (match format with
+              | `Text -> ()
+              | `Jsonl ->
+                Format.printf
+                  "{\"done\":true,\"count\":%d,\"route\":\"%s\",\"complete\":%b}@."
+                  !n route complete);
+              Format.eprintf "%d answer(s)%s  (route: %s)@." !n
+                (if complete then "" else ", truncated by --limit")
+                route;
+              0)))
+
+let enumerate_cmd =
+  let limit =
+    Arg.(
+      value
+      & opt (some nonnegative_int) None
+      & info [ "limit" ] ~docv:"N"
+          ~doc:
+            "Stop after streaming $(docv) answers.  The stream terminates \
+             early without running the remaining search — with a budget, \
+             only the work for the answers actually pulled is charged.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("jsonl", `Jsonl) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: text (one tuple per line) or jsonl (one \
+             {\"hom\":[...]} object per answer followed by a final \
+             {\"done\":true,...} summary frame carrying the count and \
+             route).")
+  in
+  Cmd.v
+    (Cmd.info "enumerate" ~exits
+       ~doc:"Stream every homomorphism SOURCE -> TARGET"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Streams all homomorphisms (equivalently, all containment \
+              witnesses / query answers) one per line, choosing the \
+              cheapest applicable enumeration route: Yannakakis full \
+              reduction with backtrack-free join enumeration for acyclic \
+              sources (polynomial delay), tree-decomposition dynamic \
+              programming with witness reconstruction for bounded \
+              treewidth, and budget-metered backtracking in general.  \
+              Answers stream in constant space per answer, so answer sets \
+              larger than memory are fine.  Preprocess shrinking is \
+              bypassed: enumeration is not invariant under core \
+              retraction.";
+         ])
+    Term.(
+      const enumerate $ max_nodes_term $ timeout_term $ threads_term $ limit
+      $ format $ metrics_json_term $ trace_out_term
+      $ structure_arg ~docv:"SOURCE" 0 $ structure_arg ~docv:"TARGET" 1)
 
 let game k engine show_stats a b =
   run (fun () ->
@@ -1101,12 +1265,17 @@ let triage dump_path out fuel =
       | Serve.Protocol.Ping | Serve.Protocol.Stats ->
         Core.Error.bad_input "dump request op %S carries nothing to minimize"
           (Serve.Protocol.op_name req.Serve.Protocol.op)
-      | Serve.Protocol.Solve ->
+      | (Serve.Protocol.Solve | Serve.Protocol.Enumerate) as op ->
         let a = parse_structure_text ~what:"source" (require "source" (get "source")) in
         let b = parse_structure_text ~what:"target" (require "target" (get "target")) in
         let compute a b () =
           Serve.Worker.test_abort_hook a;
-          ignore (Core.Solver.solve ~budget:(budget ()) a b);
+          (* Replay what the worker was doing when it died: a dumped
+             enumerate drains the stream, a dumped solve solves. *)
+          (match op with
+          | Serve.Protocol.Enumerate ->
+            Seq.iter ignore (Enumerate.stream ~budget:(budget ()) a b)
+          | _ -> ignore (Core.Solver.solve ~budget:(budget ()) a b));
           Serve.Json.Null
         in
         let crashes a b = signature (compute a b) = Some target in
@@ -1241,7 +1410,7 @@ let main =
   in
   Cmd.group info_
     [ contain_cmd; minimize_cmd; evaluate_cmd; solve_cmd; classify_cmd; treewidth_cmd;
-      count_cmd; game_cmd; check_cmd; selfcheck_cmd; serve_cmd; request_cmd;
-      triage_cmd ]
+      count_cmd; enumerate_cmd; game_cmd; check_cmd; selfcheck_cmd; serve_cmd;
+      request_cmd; triage_cmd ]
 
 let () = exit (Cmd.eval' main)

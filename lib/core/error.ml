@@ -70,6 +70,10 @@ let of_exn = function
   | Datalog.Parser.Parse_error msg -> Some (Bad_input ("bad program: " ^ msg))
   | Folog.Fo_parser.Parse_error msg -> Some (Bad_input ("bad formula: " ^ msg))
   | Relational.Budget.Exhausted reason -> Some (Budget_exhausted reason)
+  | Relational.Homomorphism.Count_overflow ->
+    Some
+      (Unsupported
+         "the homomorphism count exceeds the native 63-bit integer range")
   | Schaefer.Booleanize.Decode_rejected { bits; source_size; target_size; clamped; _ } ->
     Some
       (Internal

@@ -2,6 +2,33 @@ type mapping = int array
 
 type stats = { nodes : int }
 
+exception Count_overflow
+
+(* Homomorphism counts grow like |B|^|A| and blow through OCaml's 63-bit
+   native int long before the structures look big; every counting path in
+   the repo goes through these checked primitives so an overflow surfaces
+   as a typed failure instead of a silently wrapped total. *)
+let checked_add a b =
+  let s = a + b in
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Count_overflow;
+  s
+
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a then raise Count_overflow;
+    p
+
+let checked_pow base exp =
+  if exp < 0 then invalid_arg "Homomorphism.checked_pow: negative exponent";
+  let acc = ref 1 in
+  for _ = 1 to exp do
+    acc := checked_mul !acc base
+  done;
+  !acc
+
 let is_homomorphism a b (h : mapping) =
   Array.length h = Structure.size a
   && Array.for_all (fun v -> v >= 0 && v < Structure.size b) h
@@ -120,22 +147,55 @@ let decide ?ordering ?restrict ?budget ?pool a b =
 
 let exists a b = find a b <> None
 
+(* Pull-based inversion of the push-style [search]: the producer runs under
+   an effect handler and performing [Yield] suspends it, handing one
+   solution (already copied) to the consumer as a [Seq.Cons] whose tail
+   resumes the continuation.  The resulting sequence is ephemeral — the
+   continuations are one-shot, so force each node at most once.  An
+   abandoned (never fully forced) sequence simply drops its suspended
+   continuation on the heap; nothing in [search] holds external
+   resources, so that is safe.  [Budget.Exhausted] raised inside the
+   producer propagates to whichever [Seq] node the consumer is forcing. *)
+type _ Effect.t += Yield : mapping -> unit Effect.t
+
+let generator (produce : yield:(mapping -> unit) -> unit) : mapping Seq.t =
+  let open Effect.Deep in
+  fun () ->
+    match_with
+      (fun () ->
+        produce ~yield:(fun h -> Effect.perform (Yield h));
+        Seq.Nil)
+      ()
+      {
+        retc = Fun.id;
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Yield h ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  Seq.Cons (h, fun () -> continue k ()))
+            | _ -> None);
+      }
+
+let search_seq ?ordering ?restrict ?budget ?pool a b =
+  generator (fun ~yield ->
+      ignore
+        (search ?ordering ?restrict ?budget ?pool a b ~on_solution:(fun h ->
+             yield (Array.copy h);
+             true)))
+
 let enumerate ?limit ?budget a b =
-  let acc = ref [] and seen = ref 0 in
-  let cap = match limit with Some l -> l | None -> max_int in
-  if cap > 0 then
-    ignore
-      (search ?budget a b ~on_solution:(fun h ->
-           acc := Array.copy h :: !acc;
-           incr seen;
-           !seen < cap));
-  List.rev !acc
+  let seq = search_seq ?budget a b in
+  let seq = match limit with Some l -> Seq.take l seq | None -> seq in
+  List.of_seq seq
 
 let count ?budget a b =
   let c = ref 0 in
   ignore
     (search ?budget a b ~on_solution:(fun _ ->
-         incr c;
+         c := checked_add !c 1;
          true));
   !c
 

@@ -20,6 +20,23 @@ type mapping = int array
 
 type stats = { nodes : int (** search-tree nodes explored *) }
 
+exception Count_overflow
+(** A homomorphism count exceeded OCaml's native [int] range.  Counts
+    grow like |B|^|A|, so every counting path uses the checked
+    primitives below and surfaces overflow as this typed failure
+    instead of a silently wrapped total. *)
+
+val checked_add : int -> int -> int
+(** @raise Count_overflow on signed overflow. *)
+
+val checked_mul : int -> int -> int
+(** @raise Count_overflow on signed overflow. *)
+
+val checked_pow : int -> int -> int
+(** [checked_pow base exp] for [exp >= 0] by repeated checked
+    multiplication.
+    @raise Count_overflow when the power leaves the [int] range. *)
+
 val is_homomorphism : Structure.t -> Structure.t -> mapping -> bool
 
 val find :
@@ -62,12 +79,40 @@ val decide :
 
 val exists : Structure.t -> Structure.t -> bool
 
+val generator : (yield:(mapping -> unit) -> unit) -> mapping Seq.t
+(** Invert a push-style producer into a pull-based sequence using an
+    effect handler: the producer runs until it calls [yield], which
+    suspends it and surfaces the mapping as the next sequence element.
+    The sequence is {b ephemeral} (one-shot continuations) — force each
+    node at most once.  Exceptions raised by the producer propagate from
+    the forcing of the node that ran it. *)
+
+val search_seq :
+  ?ordering:[ `Mrv | `Input ] ->
+  ?restrict:(int -> int -> bool) ->
+  ?budget:Budget.t ->
+  ?pool:Parallel.Pool.t ->
+  Structure.t ->
+  Structure.t ->
+  mapping Seq.t
+(** The backtracking search as a pull-based stream: each forced element
+    is a fresh mapping array, produced with constant extra space beyond
+    the suspended search state (an OCaml effect continuation).  The
+    sequence is {b ephemeral} — force each node at most once.
+    @raise Budget.Exhausted from the forcing of whichever node exhausts
+    [budget]. *)
+
 val enumerate :
   ?limit:int -> ?budget:Budget.t -> Structure.t -> Structure.t -> mapping list
-(** All homomorphisms (up to [limit] when given), in no specified order.
+(** All homomorphisms (up to [limit] when given), in no specified order;
+    materializes {!search_seq}.
     @raise Budget.Exhausted when [budget] runs out mid-enumeration. *)
 
 val count : ?budget:Budget.t -> Structure.t -> Structure.t -> int
+(** Number of homomorphisms, by exhaustive backtracking with checked
+    accumulation.
+    @raise Count_overflow when the count exceeds the [int] range.
+    @raise Budget.Exhausted when [budget] runs out mid-count. *)
 
 val is_injective : mapping -> bool
 

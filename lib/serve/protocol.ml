@@ -1,8 +1,9 @@
-type op = Solve | Contain | Ping | Stats
+type op = Solve | Contain | Enumerate | Ping | Stats
 
 let op_name = function
   | Solve -> "solve"
   | Contain -> "contain"
+  | Enumerate -> "enumerate"
   | Ping -> "ping"
   | Stats -> "stats"
 
@@ -16,6 +17,8 @@ type request = {
   max_nodes : int option;
   timeout : float option;
   certify : bool;
+  limit : int option;
+  batch : int option;
 }
 
 let id_of_json j = match Json.member "id" j with Some v -> v | None -> Json.Null
@@ -63,12 +66,15 @@ let request_of_json j =
         match opname with
         | "solve" -> Ok Solve
         | "contain" -> Ok Contain
+        | "enumerate" -> Ok Enumerate
         | "ping" -> Ok Ping
         | "stats" -> Ok Stats
         | other ->
           Error
             (Printf.sprintf
-               "unknown op %S (expected solve, contain, ping or stats)" other)
+               "unknown op %S (expected solve, contain, enumerate, ping or \
+                stats)"
+               other)
       in
       let what = Printf.sprintf "op %S" opname in
       let* source = opt_string ~what "source" j in
@@ -78,6 +84,8 @@ let request_of_json j =
       let* max_nodes = opt_int ~what "max_nodes" j in
       let* timeout = opt_number ~what "timeout" j in
       let* certify = opt_bool ~what "certify" j in
+      let* limit = opt_int ~what "limit" j in
+      let* batch = opt_int ~what "batch" j in
       let* () =
         match max_nodes with
         | Some n when n <= 0 -> Error "\"max_nodes\" must be positive"
@@ -88,6 +96,16 @@ let request_of_json j =
         | Some s when s <= 0. -> Error "\"timeout\" must be positive"
         | _ -> Ok ()
       in
+      let* () =
+        match limit with
+        | Some n when n < 0 -> Error "\"limit\" must be non-negative"
+        | _ -> Ok ()
+      in
+      let* () =
+        match batch with
+        | Some n when n <= 0 -> Error "\"batch\" must be positive"
+        | _ -> Ok ()
+      in
       let require field value =
         match value with
         | Some _ -> Ok ()
@@ -95,7 +113,7 @@ let request_of_json j =
       in
       let* () =
         match op with
-        | Solve ->
+        | Solve | Enumerate ->
           let* () = require "source" source in
           require "target" target
         | Contain ->
@@ -114,6 +132,8 @@ let request_of_json j =
           max_nodes;
           timeout;
           certify = Option.value ~default:false certify;
+          limit;
+          batch;
         }
     | Some _ -> Error "field \"op\" must be a string")
   | _ -> Error "frame must be a JSON object"
@@ -177,6 +197,39 @@ let ok_verdict ~id ~op ~verdict ~route ~cache ~nodes ~elapsed_ms ~certified =
     match certified with
     | None -> []
     | Some ok -> [ ("certified", Json.Bool ok) ])
+
+(* Streamed enumerate responses: zero or more ["frame":"answers"] lines
+   (each carrying a batch of witness arrays) followed by exactly one
+   ["frame":"final"] line with the totals. *)
+let ok_enumerate_answers ~id ~answers =
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "ok");
+      ("op", Json.String "enumerate");
+      ("frame", Json.String "answers");
+      ( "answers",
+        Json.List
+          (List.map
+             (fun h ->
+               Json.List (Array.to_list (Array.map (fun v -> Json.Int v) h)))
+             answers) );
+    ]
+
+let ok_enumerate_final ~id ~route ~cache ~count ~complete ~elapsed_ms =
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "ok");
+      ("op", Json.String "enumerate");
+      ("frame", Json.String "final");
+      ("route", Json.String route);
+      ("cache", Json.String cache);
+      ("count", Json.Int count);
+      ("complete", Json.Bool complete);
+      ("elapsed_ms", Json.Float elapsed_ms);
+      ("code", Json.Int 0);
+    ]
 
 let error ~id e =
   Json.Obj

@@ -7,9 +7,18 @@
      "source": "<structure text>", "target": "<structure text>",
      "max_nodes": N, "timeout": S, "certify": true}
     {"id": <any>, "op": "contain", "q1": "<query>", "q2": "<query>", ...}
+    {"id": <any>, "op": "enumerate", "source": "...", "target": "...",
+     "limit": N, "batch": K, ...}
     {"id": <any>, "op": "ping"}
     {"id": <any>, "op": "stats"}
     v}
+
+    An [enumerate] request is answered by a {e stream} of response lines
+    sharing the request's [id]: zero or more
+    [{"frame":"answers","answers":[[...],...]}] lines of at most [batch]
+    witnesses each, then one [{"frame":"final","count":N,...}] line.  It
+    cannot appear inside a batch frame (one line must stay one response
+    there).
 
     [id] is optional and echoed back verbatim (any JSON value); budget
     fields are optional and clamped by the server-wide ceilings.
@@ -33,7 +42,7 @@
     [shed] responses carry ["message"] and mean admission control
     refused the request under load. *)
 
-type op = Solve | Contain | Ping | Stats
+type op = Solve | Contain | Enumerate | Ping | Stats
 
 val op_name : op -> string
 
@@ -47,6 +56,11 @@ type request = {
   max_nodes : int option;
   timeout : float option;
   certify : bool;
+  limit : int option;
+      (** Enumerate: stream at most this many answers (non-negative;
+          clamped by the server ceiling). *)
+  batch : int option;
+      (** Enumerate: answers per ["answers"] frame (positive). *)
 }
 
 val request_of_json : Json.t -> (request, string) result
@@ -78,6 +92,23 @@ val ok_verdict :
 (** [certified] is [Some true] when [--certify]-style checking ran and
     accepted (rejections become internal errors upstream); [None] when
     not requested. *)
+
+val ok_enumerate_answers :
+  id:Json.t -> answers:int array list -> Json.t
+(** One streamed batch of witness arrays
+    ([{"frame":"answers","answers":[[...],...]}]). *)
+
+val ok_enumerate_final :
+  id:Json.t ->
+  route:string ->
+  cache:string ->
+  count:int ->
+  complete:bool ->
+  elapsed_ms:float ->
+  Json.t
+(** The closing frame of a streamed enumerate response: total answer
+    count, whether the stream was exhausted (vs truncated by the limit),
+    and the enumeration route. *)
 
 val error : id:Json.t -> Core.Error.t -> Json.t
 (** Worker-crash errors additionally carry a ["crash"] field with the

@@ -198,6 +198,137 @@ let solve_instance cfg ~line ~id ~op ~certify ~max_nodes ~timeout a b =
   in
   record_latency cfg ~wall_ms:((Unix.gettimeofday () -. t0) *. 1000.) response
 
+(* Re-key a response object under the given id (crash responses fan out
+   to every request they answered for). *)
+let with_id id = function
+  | Json.Obj fields ->
+    Json.Obj (("id", id) :: List.filter (fun (k, _) -> k <> "id") fields)
+  | j -> j
+
+(* ------------------------------------------------------------------ *)
+(* Streamed enumeration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Server-side answer ceilings: a request without a limit streams at
+   most [default_enumerate_limit] answers, and an explicit limit is
+   clamped to [max_enumerate_limit] — the daemon must never let one
+   request monopolise a connection with an astronomically large answer
+   set.  The final frame's ["complete"] field tells the client whether
+   the stream was truncated. *)
+let default_enumerate_limit = 1000
+let max_enumerate_limit = 10_000
+let default_enumerate_batch = 64
+
+(* Drive the stream against the {e interned} template — never the cached
+   core: answer sets (unlike verdicts) are not invariant under core
+   retraction.  Full ["answers"] frames of [batch] witnesses go through
+   [emit_frame] as they fill; the final frame is returned.  Pulling one
+   node past the limit distinguishes "exactly limit answers exist"
+   (complete) from a truncated stream. *)
+let enumerate_now cfg ~emit_frame ~id ~max_nodes ~timeout ~limit ~batch a
+    (tmpl, _core, cache_status) =
+  let budget = budget_for cfg ~max_nodes ~timeout in
+  Fault.trip Fault.Solve;
+  let t0 = Unix.gettimeofday () in
+  let limit =
+    min max_enumerate_limit
+      (Option.value ~default:default_enumerate_limit limit)
+  in
+  let batch = Option.value ~default:default_enumerate_batch batch in
+  let plan = Enumerate.plan ~budget a tmpl in
+  let count = ref 0 in
+  let complete = ref true in
+  let buf = ref [] in
+  let flush () =
+    if !buf <> [] then begin
+      emit_frame (Protocol.ok_enumerate_answers ~id ~answers:(List.rev !buf));
+      buf := []
+    end
+  in
+  let rec pull seq =
+    if !count >= limit then (
+      match seq () with Seq.Nil -> () | Seq.Cons _ -> complete := false)
+    else
+      match seq () with
+      | Seq.Nil -> ()
+      | Seq.Cons (h, rest) ->
+        incr count;
+        buf := h :: !buf;
+        if !count mod batch = 0 then flush ();
+        pull rest
+  in
+  pull plan.Enumerate.seq;
+  flush ();
+  let elapsed_ms = Float.round (1e6 *. (Unix.gettimeofday () -. t0)) /. 1000. in
+  Protocol.ok_enumerate_final ~id
+    ~route:(Enumerate.route_name plan.Enumerate.route)
+    ~cache:cache_status ~count:!count ~complete:!complete ~elapsed_ms
+
+(* Enumerate (A, B), streaming answers frames through [emit]; returns
+   the final frame as the request's response line.  The sandboxed path
+   cannot stream through the fork boundary, so the child accumulates
+   every frame and returns them as one [Json.List] — distinguishable
+   from a terminal crash response, which is an object — and the parent
+   replays all but the last through [emit].  An exception mid-stream
+   (budget exhaustion, cancellation) propagates to the isolation
+   boundary: already-emitted answers frames stand, and the typed error
+   response carrying the request's id terminates the stream. *)
+let enumerate_instance cfg ~line ~emit ~id ~max_nodes ~timeout ~limit ~batch a b
+    =
+  let resolved = resolve_template cfg b in
+  let emit_json j =
+    emit
+      (match Json.to_string j with
+      | s -> s
+      | exception _ -> Protocol.fallback_line)
+  in
+  let t0 = Unix.gettimeofday () in
+  let final =
+    match cfg.sandbox with
+    | None ->
+      enumerate_now cfg ~emit_frame:emit_json ~id ~max_nodes ~timeout ~limit
+        ~batch a resolved
+    | Some pool -> (
+      let reply =
+        Worker.supervise pool ~id ~dump:(dump_for cfg ~line pool)
+          (fun ~degraded ->
+            Worker.test_abort_hook a;
+            let max_nodes =
+              if not degraded then max_nodes
+              else
+                let cap = Worker.retry_nodes pool in
+                Some (match max_nodes with Some n -> min n cap | None -> cap)
+            in
+            let frames = ref [] in
+            let final =
+              enumerate_now cfg
+                ~emit_frame:(fun j -> frames := j :: !frames)
+                ~id ~max_nodes ~timeout ~limit ~batch a resolved
+            in
+            Json.List (List.rev (final :: !frames)))
+      in
+      match reply with
+      | Json.List (_ :: _ as frames) ->
+        let rec replay = function
+          | [ last ] -> last
+          | f :: rest ->
+            emit_json f;
+            replay rest
+          | [] -> assert false
+        in
+        replay frames
+      | crash -> with_id id crash)
+  in
+  (* Count answers parent-side off the final frame: a sandboxed stream
+     produces them in the forked child, whose telemetry dies with it. *)
+  (match final with
+  | Json.Obj fields -> (
+    match List.assoc_opt "count" fields with
+    | Some (Json.Int n) -> Telemetry.count "serve.enumerate.answers" n
+    | _ -> ())
+  | _ -> ());
+  record_latency cfg ~wall_ms:((Unix.gettimeofday () -. t0) *. 1000.) final
+
 let stats_fields cfg =
   let c = Cache.stats cfg.cache in
   [
@@ -256,12 +387,12 @@ let stats_fields cfg =
           ] );
   ]
 
-let dispatch cfg ~line (req : Protocol.request) =
+let dispatch cfg ~line ~emit (req : Protocol.request) =
   let id = req.Protocol.id in
   match req.Protocol.op with
   | Protocol.Ping -> Protocol.ok_ping ~id
   | Protocol.Stats -> Protocol.ok_stats ~id ~fields:(stats_fields cfg)
-  | (Protocol.Solve | Protocol.Contain) as op -> (
+  | (Protocol.Solve | Protocol.Contain | Protocol.Enumerate) as op -> (
     Fault.trip Fault.Admit;
     match cfg.admit () with
     | `Shed message ->
@@ -295,6 +426,12 @@ let dispatch cfg ~line (req : Protocol.request) =
             in
             solve_instance cfg ~line ~id ~op ~certify:req.certify
               ~max_nodes:req.max_nodes ~timeout:req.timeout a b
+          | Protocol.Enumerate ->
+            Telemetry.count "serve.enumerate" 1;
+            let a = parse_structure ~what:"source" (get "source" req.source) in
+            let b = parse_structure ~what:"target" (get "target" req.target) in
+            enumerate_instance cfg ~line ~emit ~id ~max_nodes:req.max_nodes
+              ~timeout:req.timeout ~limit:req.limit ~batch:req.batch a b
           | Protocol.Ping | Protocol.Stats -> assert false))
 
 (* ------------------------------------------------------------------ *)
@@ -316,12 +453,7 @@ let template_key (req : Protocol.request) =
   match req.Protocol.op with
   | Protocol.Solve -> ("solve", Option.value ~default:"" req.Protocol.target)
   | Protocol.Contain -> ("contain", Option.value ~default:"" req.Protocol.q1)
-  | Protocol.Ping | Protocol.Stats -> assert false
-
-let with_id id = function
-  | Json.Obj fields ->
-    Json.Obj (("id", id) :: List.filter (fun (k, _) -> k <> "id") fields)
-  | j -> j
+  | Protocol.Enumerate | Protocol.Ping | Protocol.Stats -> assert false
 
 (* The (A, resolved-B) instance of one group member.  [shared] lazily
    parses and cache-resolves the group's solve template, so a bad
@@ -346,7 +478,7 @@ let member_instance cfg ~shared (req : Protocol.request) =
       | exception Invalid_argument msg -> Core.Error.bad_input "%s" msg
     in
     (a, resolve_template cfg b)
-  | Protocol.Ping | Protocol.Stats -> assert false
+  | Protocol.Enumerate | Protocol.Ping | Protocol.Stats -> assert false
 
 (* Answer one template group.  All parsing and cache resolution happens
    in the parent (children must inherit warm templates copy-on-write,
@@ -455,6 +587,14 @@ let handle_batch cfg ~line items =
         | Protocol.Stats ->
           responses.(i) <-
             Protocol.ok_stats ~id:req.Protocol.id ~fields:(stats_fields cfg)
+        | Protocol.Enumerate ->
+          (* A batch answers one line per frame; a streamed op cannot
+             keep that contract, so it must arrive as its own frame. *)
+          responses.(i) <-
+            Protocol.error ~id:req.Protocol.id
+              (Core.Error.Bad_input
+                 "enumerate cannot appear inside a batch frame: it streams \
+                  multiple response lines")
         | Protocol.Solve | Protocol.Contain ->
           solves := (i, req) :: !solves))
     items;
@@ -499,7 +639,7 @@ let handle_batch cfg ~line items =
    end);
   Json.List (Array.to_list responses)
 
-let handle_line cfg line =
+let handle_line ?(emit = fun _ -> ()) cfg line =
   Telemetry.count "serve.requests" 1;
   let id = ref Json.Null in
   let response =
@@ -520,7 +660,7 @@ let handle_line cfg line =
       | _ -> (
         match Protocol.request_of_json j with
         | Error msg -> Protocol.error ~id:!id (Core.Error.Bad_input msg)
-        | Ok req -> dispatch cfg ~line req)
+        | Ok req -> dispatch cfg ~line ~emit req)
     with e -> Protocol.error_of_exn ~id:!id e
   in
   let count_status = function
@@ -721,7 +861,8 @@ let serve_stream cfg ~shutdown ~in_fd ~respond =
             if !discarding then discarding := false
             else begin
               let frame = Buffer.contents line in
-              if String.trim frame <> "" then respond (handle_line cfg frame)
+              if String.trim frame <> "" then
+                respond (handle_line ~emit:respond cfg frame)
             end;
             Buffer.clear line
           | c ->

@@ -45,8 +45,8 @@ type config = {
   cancel : bool ref;  (** Shared by every request budget. *)
   max_frame_bytes : int;  (** Frames longer than this are rejected. *)
   admit : unit -> [ `Go | `Shed of string | `Cancelled ];
-      (** Admission decision for verdict-bearing ops; [`Go] must be
-          paired with a later [release]. *)
+      (** Admission decision for work-bearing ops (solve, contain,
+          enumerate); [`Go] must be paired with a later [release]. *)
   release : unit -> unit;
   sandbox : Worker.pool option;
       (** When set, solves run in forked sandboxed workers. *)
@@ -74,10 +74,20 @@ val default_config : ?cache_capacity:int -> ?preprocess:bool -> unit -> config
     [preprocess] (default [true]) governs both the per-request source
     shrink and the cache's per-template coring. *)
 
-val handle_line : config -> string -> string
+val handle_line : ?emit:(string -> unit) -> config -> string -> string
 (** Process one frame (without its newline); returns one response line
     (without a newline).  Total: never raises, never blocks on anything
     but the solve itself.
+
+    [emit] (default: drop) receives the {e intermediate} response lines
+    of a streamed [enumerate] request — zero or more ["answers"] frames,
+    each a batch of witnesses — before the returned line closes the
+    stream with the ["final"] frame (or a typed error: an exception
+    mid-stream, e.g. budget exhaustion, leaves already-emitted frames
+    standing and terminates the stream with the error response).  Under
+    a sandbox pool the child accumulates the frames and the parent
+    replays them, so [emit] never crosses the fork.  All other ops
+    ignore [emit] entirely.
 
     A frame that is a JSON {e array} of request objects is a {e batch}:
     its response line is the JSON array of the members' responses, in

@@ -215,15 +215,17 @@ let count ?(budget = Relational.Budget.unlimited) a b =
                     if acc = 0 then 0
                     else
                       let key = Array.of_list (List.map value (shared_with child)) in
-                      acc
-                      * Option.value ~default:0 (Hashtbl.find_opt aggregated.(child) key))
+                      Homomorphism.checked_mul acc
+                        (Option.value ~default:0
+                           (Hashtbl.find_opt aggregated.(child) key)))
                   1 children
               in
               if contribution > 0 then begin
                 let key = Array.of_list (List.map value parent_shared) in
                 Hashtbl.replace aggregated.(u) key
-                  (contribution
-                  + Option.value ~default:0 (Hashtbl.find_opt aggregated.(u) key))
+                  (Homomorphism.checked_add contribution
+                     (Option.value ~default:0
+                        (Hashtbl.find_opt aggregated.(u) key)))
               end
             end
           end

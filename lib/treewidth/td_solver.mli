@@ -44,4 +44,8 @@ val solve_with_stats :
 val count : ?budget:Budget.t -> Structure.t -> Structure.t -> int
 (** Number of homomorphisms [A -> B], by sum-product dynamic programming
     over the decomposition — polynomial for bounded treewidth, a classical
-    strengthening of the existence result. *)
+    strengthening of the existence result.  All arithmetic is
+    overflow-checked: counts grow like [|B|^|A|].
+    @raise Homomorphism.Count_overflow when the total leaves the native
+    [int] range.
+    @raise Budget.Exhausted when [budget] runs out. *)

@@ -17,7 +17,19 @@
                        or .cache == "poisoned" or .cache == "none")
                   and (.nodes | type == "number")
                   and (.elapsed_ms | type == "number")
-                  and (.code == 0 or .code == 4))))
+                  and (.code == 0 or .code == 4))
+              or (.op == "enumerate"
+                  and ((.frame == "answers"
+                        and (.answers | type == "array")
+                        and ([.answers[] | type == "array"] | all))
+                       or (.frame == "final"
+                           and (.route | type == "string")
+                           and (.cache == "hit" or .cache == "miss"
+                                or .cache == "poisoned" or .cache == "none")
+                           and (.count | type == "number")
+                           and (.complete | type == "boolean")
+                           and (.elapsed_ms | type == "number")
+                           and .code == 0)))))
         or (.status == "error"
             and (.error == "bad_input" or .error == "unsupported"
                  or .error == "budget_exhausted" or .error == "internal")

@@ -15,6 +15,11 @@
 #                      must land in the cache as its core: stats reports
 #                      core_elements < raw_elements and the metrics
 #                      count serve.preprocess.shrunk;
+#   1d. enumerate    — a streamed enumerate request must answer with
+#                      schema-valid answers frames plus one final frame
+#                      carrying the exact count, a limit must truncate
+#                      with complete:false, and enumerate inside a batch
+#                      frame must be refused with a typed error;
 #   2. chaos phase   — the same load with every fault site armed via
 #                      CQCSP_FAULT; responses must STILL all be typed
 #                      (injected faults become error responses, never
@@ -208,6 +213,47 @@ stop_daemon "shrink"
 jq -e '[.counters[] | select(.name == "serve.preprocess.shrunk") | .total > 0] | any' \
   "$TMP/shrink-metrics.json" >/dev/null \
   || fail "shrink: serve.preprocess.shrunk not positive in metrics"
+
+# --- Phase 1d: streamed enumerate frames ------------------------------
+# An enumerate request answers with a STREAM of lines sharing its id:
+# answers frames of at most "batch" witnesses, then one final frame
+# carrying the total count and whether the stream was exhausted.  The
+# frames must satisfy the response schema, a limited stream must report
+# complete:false, and enumerate inside a batch frame must be refused
+# with a typed error (a batch answers one line per frame).
+start_daemon "$TMP/enum.sock" "$TMP/enum-metrics.json"
+ENUM_REQ='{"id":41,"op":"enumerate","source":"size 2\nE 0 1\n","target":"size 2\nE 0 1\nE 1 0\n","batch":1}'
+printf '%s\n' "$ENUM_REQ" | "$BIN" request --socket "$TMP/enum.sock" >"$TMP/enum.jsonl"
+jq -e -s -f "$RESPONSE_SCHEMA" "$TMP/enum.jsonl" >/dev/null \
+  || fail "enum: a streamed frame violates $RESPONSE_SCHEMA"
+# K2 as an undirected edge has two homomorphic images of a single arc;
+# batch:1 makes that two answers frames plus the final frame.
+jq -e -s 'length == 3
+          and ([.[] | .id == 41 and .op == "enumerate"] | all)
+          and (.[0].frame == "answers" and (.[0].answers | length == 1))
+          and (.[1].frame == "answers" and (.[1].answers | length == 1))
+          and (.[2].frame == "final" and .[2].count == 2
+               and .[2].complete == true and .[2].code == 0)
+          and ([.[0].answers[0], .[1].answers[0]] | sort == [[0,1],[1,0]])' \
+  "$TMP/enum.jsonl" >/dev/null || fail "enum: streamed frame contents"
+# A limit below the answer count truncates and says so.
+printf '%s\n' '{"id":42,"op":"enumerate","source":"size 2\nE 0 1\n","target":"size 2\nE 0 1\nE 1 0\n","limit":1}' \
+  | "$BIN" request --socket "$TMP/enum.sock" >"$TMP/enum-limit.jsonl"
+jq -e -s 'length == 2
+          and (.[1].frame == "final" and .[1].count == 1
+               and .[1].complete == false)' \
+  "$TMP/enum-limit.jsonl" >/dev/null || fail "enum: limit truncation"
+# Enumerate cannot ride inside a batch frame.
+printf '%s\n' '[{"id":43,"op":"ping"},{"id":44,"op":"enumerate","source":"size 2\nE 0 1\n","target":"size 2\nE 0 1\nE 1 0\n"}]' \
+  | "$BIN" request --socket "$TMP/enum.sock" >"$TMP/enum-batch.jsonl"
+jq -e 'type == "array" and length == 2
+       and .[0].status == "ok"
+       and .[1].status == "error" and .[1].error == "bad_input" and .[1].id == 44' \
+  "$TMP/enum-batch.jsonl" >/dev/null || fail "enum: batch-frame rejection"
+stop_daemon "enum"
+jq -e '[.counters[] | select(.name == "serve.enumerate.answers") | .total >= 3] | any' \
+  "$TMP/enum-metrics.json" >/dev/null \
+  || fail "enum: serve.enumerate.answers not counted in metrics"
 
 # --- Phase 2: every fault site armed ----------------------------------
 start_daemon "$TMP/chaos.sock" "" CQCSP_FAULT=all:42:0.08
